@@ -1,0 +1,57 @@
+package main
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/webdep/webdep/internal/resolver"
+)
+
+func writeZoneFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestServeZoneFiles(t *testing.T) {
+	dir := t.TempDir()
+	withOrigin := writeZoneFile(t, dir, "explicit.zone", `
+$ORIGIN served.test.
+@   IN SOA ns1.served.test. admin.served.test. 1 2 3 4 5
+www IN A 192.0.2.42
+`)
+	// No $ORIGIN: the file name supplies it.
+	fromName := writeZoneFile(t, dir, "implicit.zone", "www IN A 192.0.2.43\n")
+
+	srv, addr, err := serve("127.0.0.1:0", []string{withOrigin, fromName})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := resolver.NewClient(addr)
+	addrs, err := c.LookupA("www.served.test")
+	if err != nil || len(addrs) != 1 || addrs[0] != netip.MustParseAddr("192.0.2.42") {
+		t.Errorf("explicit zone: %v %v", addrs, err)
+	}
+	addrs, err = c.LookupA("www.implicit")
+	if err != nil || len(addrs) != 1 || addrs[0] != netip.MustParseAddr("192.0.2.43") {
+		t.Errorf("implicit-origin zone: %v %v", addrs, err)
+	}
+}
+
+func TestServeRejectsBadZone(t *testing.T) {
+	dir := t.TempDir()
+	bad := writeZoneFile(t, dir, "bad.zone", "www IN A not-an-ip\n")
+	if _, _, err := serve("127.0.0.1:0", []string{bad}); err == nil {
+		t.Error("bad zone file accepted")
+	}
+	if _, _, err := serve("127.0.0.1:0", []string{filepath.Join(dir, "missing.zone")}); err == nil {
+		t.Error("missing zone file accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/dataset"
+)
+
+func TestParseLayer(t *testing.T) {
+	for _, name := range []string{"hosting", "dns", "ca", "tld"} {
+		layer, err := parseLayer(name)
+		if err != nil || layer.String() != name {
+			t.Errorf("parseLayer(%q) = %v, %v", name, layer, err)
+		}
+	}
+	if _, err := parseLayer("bogus"); err == nil {
+		t.Error("bogus layer accepted")
+	}
+}
+
+func TestReportOnCSV(t *testing.T) {
+	list := &dataset.CountryList{Country: "TH", Epoch: "x", Sites: []dataset.Website{
+		{Domain: "a.th", Country: "TH", Rank: 1, HostProvider: "Cloudflare", HostProviderCountry: "US", TLD: "th"},
+		{Domain: "b.th", Country: "TH", Rank: 2, HostProvider: "Cloudflare", HostProviderCountry: "US", TLD: "th"},
+		{Domain: "c.th", Country: "TH", Rank: 3, HostProvider: "ThaiHost", HostProviderCountry: "TH", TLD: "th"},
+	}}
+	path := filepath.Join(t.TempDir(), "TH.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, list); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := report(path, "x", countries.Hosting, 3); err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if err := report(filepath.Join(t.TempDir(), "missing.csv"), "x", countries.Hosting, 3); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,201 @@
+// Command webdep generates a calibrated synthetic world, measures it
+// through the enrichment pipeline, and exports per-country datasets in the
+// release CSV format.
+//
+// Usage:
+//
+//	webdep -out data/ -sites 10000                 # full 150-country world
+//	webdep -countries TH,IR,US -sites 2000 -out d/ # subset
+//	webdep -epoch2 -out data/                      # also emit the 2025-05 epoch
+//	webdep -live -countries TH -sites 50           # crawl over real sockets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/dnsserver"
+	"github.com/webdep/webdep/internal/liveworld"
+	"github.com/webdep/webdep/internal/pipeline"
+	"github.com/webdep/webdep/internal/resolver"
+	"github.com/webdep/webdep/internal/tlsscan"
+	"github.com/webdep/webdep/internal/worldgen"
+)
+
+func main() {
+	var (
+		seed    = flag.Int64("seed", 1, "world seed")
+		sites   = flag.Int("sites", 10000, "sites per country")
+		out     = flag.String("out", "webdep-data", "output directory")
+		subset  = flag.String("countries", "", "comma-separated country subset (default: all 150)")
+		epoch2  = flag.Bool("epoch2", false, "also generate and export the 2025-05 epoch")
+		live    = flag.Bool("live", false, "measure over real sockets (DNS + TLS); use small worlds")
+		geoErr  = flag.Bool("geoerr", false, "enable the 10.6% geolocation error model")
+		summary = flag.Bool("summary", true, "print per-layer score summaries")
+		zones   = flag.Bool("zones", false, "also dump the world's DNS zones as master files")
+	)
+	flag.Parse()
+
+	if err := run(*seed, *sites, *out, splitList(*subset), *epoch2, *live, *geoErr, *summary, *zones); err != nil {
+		fmt.Fprintln(os.Stderr, "webdep:", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, strings.ToUpper(p))
+		}
+	}
+	return out
+}
+
+func run(seed int64, sites int, out string, subset []string, epoch2, live, geoErr, summary, zones bool) error {
+	cfg := worldgen.Config{Seed: seed, SitesPerCountry: sites, Countries: subset}
+	if geoErr {
+		cfg.GeoErrorRate = 0.106
+	}
+	fmt.Fprintf(os.Stderr, "building world (seed=%d, sites=%d)...\n", seed, sites)
+	w, err := worldgen.Build(cfg)
+	if err != nil {
+		return err
+	}
+
+	var corpus *dataset.Corpus
+	if live {
+		corpus, err = measureLive(w)
+	} else {
+		corpus, err = pipeline.FromWorld(w).MeasureWorld(w)
+	}
+	if err != nil {
+		return err
+	}
+	if err := export(out, corpus); err != nil {
+		return err
+	}
+	if zones {
+		if err := exportZones(out, w); err != nil {
+			return err
+		}
+	}
+	if summary {
+		printSummary(corpus)
+	}
+
+	if epoch2 {
+		fmt.Fprintln(os.Stderr, "generating 2025-05 epoch...")
+		next, err := worldgen.BuildNextEpoch(w, "2025-05")
+		if err != nil {
+			return err
+		}
+		corpus2, err := pipeline.FromWorld(w).MeasureWorld(next)
+		if err != nil {
+			return err
+		}
+		if err := export(out, corpus2); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func measureLive(w *worldgen.World) (*dataset.Corpus, error) {
+	fmt.Fprintln(os.Stderr, "serving world over DNS and TLS...")
+	ep, err := liveworld.Serve(w)
+	if err != nil {
+		return nil, err
+	}
+	defer ep.Close()
+	liveP := &pipeline.Live{
+		Pipeline:       pipeline.FromWorld(w),
+		DNS:            resolver.NewClient(ep.DNSAddr),
+		Scanner:        tlsscan.New(w.Owners),
+		TLSAddr:        ep.TLSAddr,
+		Workers:        16,
+		DetectLanguage: true,
+	}
+	corpus := dataset.NewCorpus(w.Config.Epoch)
+	for _, cc := range w.Config.Countries {
+		fmt.Fprintf(os.Stderr, "crawling %s over real sockets...\n", cc)
+		list, err := liveP.CrawlCountry(cc, w.Config.Epoch, w.Truth.Get(cc).Domains())
+		if err != nil {
+			return nil, err
+		}
+		corpus.Add(list)
+	}
+	return corpus, nil
+}
+
+func export(dir string, corpus *dataset.Corpus) error {
+	outDir := filepath.Join(dir, corpus.Epoch)
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, cc := range corpus.Countries() {
+		path := filepath.Join(outDir, cc+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := dataset.WriteCSV(f, corpus.Get(cc)); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d country files to %s\n", len(corpus.Lists), outDir)
+	return nil
+}
+
+func exportZones(dir string, w *worldgen.World) error {
+	zones, err := liveworld.Zones(w)
+	if err != nil {
+		return err
+	}
+	zoneDir := filepath.Join(dir, "zones")
+	if err := os.MkdirAll(zoneDir, 0o755); err != nil {
+		return err
+	}
+	for origin, zone := range zones {
+		f, err := os.Create(filepath.Join(zoneDir, origin+".zone"))
+		if err != nil {
+			return err
+		}
+		if err := dnsserver.WriteZone(f, zone); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d zone files to %s\n", len(zones), zoneDir)
+	return nil
+}
+
+func printSummary(corpus *dataset.Corpus) {
+	fmt.Printf("%-4s", "CC")
+	for _, layer := range countries.Layers {
+		fmt.Printf(" %9s", layer)
+	}
+	fmt.Println()
+	for _, cc := range corpus.Countries() {
+		fmt.Printf("%-4s", cc)
+		for _, layer := range countries.Layers {
+			fmt.Printf(" %9.4f", corpus.Get(cc).Distribution(layer).Score())
+		}
+		fmt.Println()
+	}
+}

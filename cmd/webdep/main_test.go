@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/webdep/webdep/internal/dataset"
+)
+
+func TestSplitListUppercases(t *testing.T) {
+	got := splitList(" th , ir ")
+	if len(got) != 2 || got[0] != "TH" || got[1] != "IR" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("empty input should be nil")
+	}
+}
+
+func TestRunFastModeExportsCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(5, 120, dir, []string{"TH", "US"}, false, false, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range []string{"TH", "US"} {
+		path := filepath.Join(dir, "2023-05", cc+".csv")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("expected export %s: %v", path, err)
+		}
+		list, err := dataset.ReadCSV(f, "2023-05")
+		f.Close()
+		if err != nil {
+			t.Fatalf("re-reading %s: %v", path, err)
+		}
+		if list.Country != cc || len(list.Sites) != 120 {
+			t.Errorf("%s: country %s, %d sites", path, list.Country, len(list.Sites))
+		}
+	}
+	// -zones was set: master files must exist and be non-trivial.
+	entries, err := os.ReadDir(filepath.Join(dir, "zones"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("zone export: %v (%d files)", err, len(entries))
+	}
+	foundNSInfra := false
+	for _, e := range entries {
+		if e.Name() == "nsinfra.zone" {
+			foundNSInfra = true
+		}
+	}
+	if !foundNSInfra {
+		t.Error("nsinfra.zone missing from zone export")
+	}
+}
+
+func TestRunSecondEpoch(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(5, 80, dir, []string{"BR"}, true, false, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, epoch := range []string{"2023-05", "2025-05"} {
+		if _, err := os.Stat(filepath.Join(dir, epoch, "BR.csv")); err != nil {
+			t.Errorf("epoch %s missing: %v", epoch, err)
+		}
+	}
+}
+
+func TestRunLiveMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(5, 25, dir, []string{"CZ"}, false, true, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "2023-05", "CZ.csv")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	list, err := dataset.ReadCSV(f, "2023-05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sites) != 25 {
+		t.Fatalf("live export has %d sites", len(list.Sites))
+	}
+	// Live crawl must have attributed providers.
+	attributed := 0
+	for i := range list.Sites {
+		if list.Sites[i].HostProvider != "" {
+			attributed++
+		}
+	}
+	if attributed != 25 {
+		t.Errorf("only %d/25 sites attributed in live mode", attributed)
+	}
+}
+
+func TestRunRejectsUnknownCountry(t *testing.T) {
+	if err := run(5, 50, t.TempDir(), []string{"XX"}, false, false, false, false, false); err == nil {
+		t.Fatal("unknown country accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package webdep_test
+
+import (
+	"fmt"
+
+	webdep "github.com/webdep/webdep"
+)
+
+// The centralization score on raw provider counts.
+func ExampleCentralizationScore() {
+	// 10 websites: 5 on one provider, 5 spread across five others.
+	counts := []float64{5, 1, 1, 1, 1, 1}
+	fmt.Printf("%.2f\n", webdep.CentralizationScore(counts))
+	// Output: 0.20
+}
+
+// Building a distribution site by site and interpreting the result.
+func ExampleDistribution() {
+	d := webdep.NewDistribution()
+	for i := 0; i < 6; i++ {
+		d.Observe("Cloudflare")
+	}
+	d.Observe("LocalHost-A")
+	d.Observe("LocalHost-B")
+	d.Observe("LocalHost-C")
+	d.Observe("LocalHost-D")
+	fmt.Printf("S = %.2f (%s)\n", d.Score(), webdep.Interpret(d.Score()))
+	fmt.Printf("top provider: %.0f%%\n", d.TopNShare(1)*100)
+	// Output:
+	// S = 0.30 (highly concentrated)
+	// top provider: 60%
+}
+
+// Endemicity separates regional from global providers.
+func ExampleUsageCurve() {
+	global := webdep.NewUsageCurve([]float64{40, 35, 33, 30, 28, 25})
+	regional := webdep.NewUsageCurve([]float64{22, 3, 0, 0, 0, 0})
+	fmt.Printf("global   E_R = %.2f\n", global.EndemicityRatio())
+	fmt.Printf("regional E_R = %.2f\n", regional.EndemicityRatio())
+	// Output:
+	// global   E_R = 0.20
+	// regional E_R = 0.81
+}
+
+// The published per-country scores ship with the library.
+func ExampleCountryByCode() {
+	th, _ := webdep.CountryByCode("TH")
+	fmt.Printf("%s: hosting S = %.4f (rank %d of 150)\n",
+		th.Name, th.PaperScore[webdep.Hosting], th.PaperRank[webdep.Hosting])
+	// Output: Thailand: hosting S = 0.3548 (rank 1 of 150)
+}

@@ -1,0 +1,80 @@
+// Extensions: the customization hooks the paper's Section 3.2 invites —
+// pairwise country comparison via EMD with a redefined ground distance,
+// traffic-weighted site mass, and the provider-redundancy variant — plus a
+// bootstrap confidence interval around a correlation claim.
+//
+//	go run ./examples/extensions
+package main
+
+import (
+	"fmt"
+	"os"
+
+	webdep "github.com/webdep/webdep"
+	"github.com/webdep/webdep/internal/stats"
+)
+
+func main() {
+	// 1. Pairwise shape comparison: how differently are two countries'
+	// dependencies structured, irrespective of who the providers are?
+	thailand := webdep.FromCounts(map[string]float64{
+		"p1": 600, "p2": 130, "p3": 40, "p4": 30, "p5": 25,
+	})
+	iran := webdep.FromCounts(map[string]float64{
+		"q1": 140, "q2": 110, "q3": 60, "q4": 45, "q5": 43,
+		"q6": 40, "q7": 38, "q8": 35, "q9": 30, "q10": 28,
+	})
+	czechia := webdep.FromCounts(map[string]float64{
+		"r1": 170, "r2": 120, "r3": 70, "r4": 50, "r5": 45,
+		"r6": 40, "r7": 35, "r8": 30, "r9": 28, "r10": 25,
+	})
+	d1, err := webdep.PairwiseEMD(thailand, iran)
+	check(err)
+	d2, err := webdep.PairwiseEMD(iran, czechia)
+	check(err)
+	fmt.Printf("pairwise shape distance TH↔IR: %.4f (very different structures)\n", d1)
+	fmt.Printf("pairwise shape distance IR↔CZ: %.4f (similar diffuse structures)\n", d2)
+
+	// 2. Traffic weighting: the same sites, weighted by visits instead of
+	// equally, can tell a more concentrated story.
+	equal := webdep.NewDistribution()
+	traffic := webdep.NewDistribution()
+	for i := 0; i < 10; i++ {
+		equal.Observe("MegaCDN")
+		equal.Observe(fmt.Sprintf("small-%d", i))
+		traffic.Add("MegaCDN", 120) // the popular sites ride the big CDN
+		traffic.Add(fmt.Sprintf("small-%d", i), 2)
+	}
+	fmt.Printf("\nsite-weighted S:    %.4f\n", equal.Score())
+	fmt.Printf("traffic-weighted S: %.4f\n", traffic.Score())
+
+	// 3. Provider redundancy: count every provider a site *requires*.
+	var redundancy webdep.RedundancyDistribution
+	redundancy.ObserveSite("Cloudflare", "NSONE", "Let's Encrypt")
+	redundancy.ObserveSite("Cloudflare", "Cloudflare", "DigiCert") // CDN+DNS bundle
+	redundancy.ObserveSite("Akamai", "Neustar UltraDNS", "DigiCert")
+	fmt.Printf("\nredundancy study: %d sites, %d dependency edges, S = %.4f\n",
+		int(redundancy.Sites()), int(redundancy.Total()), redundancy.Score())
+
+	// 4. Bootstrap CI around a correlation, using the published per-country
+	// scores: hosting vs DNS centralization across all 150 countries.
+	var host, dns []float64
+	for _, c := range webdep.Countries() {
+		host = append(host, c.PaperScore[webdep.Hosting])
+		dns = append(dns, c.PaperScore[webdep.DNS])
+	}
+	rho, err := webdep.Pearson(host, dns)
+	check(err)
+	lo, hi, err := stats.BootstrapCorrelationCI(host, dns, 0.95, 2000, 1)
+	check(err)
+	fmt.Printf("\nhosting↔DNS centralization across 150 countries (published data):\n")
+	fmt.Printf("rho = %.3f (%s), 95%% bootstrap CI [%.3f, %.3f]\n",
+		rho, webdep.CorrelationStrength(rho), lo, hi)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "extensions:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+// Quickstart: the metric suite on your own data in thirty lines.
+//
+// The core package needs nothing but provider counts — apply it to any
+// dependency data you have (hosting, DNS, CAs, TLDs, trackers, …).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	webdep "github.com/webdep/webdep"
+)
+
+func main() {
+	// Observed distribution: how many of a country's top websites use each
+	// hosting provider.
+	hosting := webdep.FromCounts(map[string]float64{
+		"Cloudflare": 412, "Amazon": 187, "Google": 61, "LocalHost-A": 58,
+		"LocalHost-B": 44, "OVH": 31, "Hetzner": 22, "LocalHost-C": 19,
+	})
+	for i := 0; i < 166; i++ {
+		hosting.Add(fmt.Sprintf("tail-%03d", i), 1) // the long tail
+	}
+
+	fmt.Printf("websites observed:   %.0f across %d providers\n",
+		hosting.Total(), hosting.NumProviders())
+	fmt.Printf("centralization S:    %.4f (%s)\n", hosting.Score(), webdep.Interpret(hosting.Score()))
+	fmt.Printf("top-5 share:         %.1f%% (the heuristic S replaces)\n", hosting.TopNShare(5)*100)
+	fmt.Printf("90%% coverage needs:  %d providers\n", hosting.ProvidersForCoverage(0.90))
+
+	// Regionalization: a provider's usage profile across countries.
+	usage := webdep.NewUsageCurve([]float64{42, 9, 6, 3, 1, 0.5, 0, 0, 0, 0})
+	fmt.Printf("\nprovider usage U:    %.1f\n", usage.Usage())
+	fmt.Printf("endemicity ratio:    %.3f (near 1 = regional, near 0 = global)\n", usage.EndemicityRatio())
+
+	// Insularity: how much of a country's web is served from in-country.
+	var ins webdep.Insularity
+	for _, providerCountry := range []string{"US", "US", "TH", "US", "TH", "SG"} {
+		ins.Observe("TH", providerCountry)
+	}
+	fmt.Printf("insularity:          %.1f%%\n", ins.Fraction()*100)
+}

@@ -1,0 +1,3 @@
+module github.com/webdep/webdep
+
+go 1.22

@@ -1,0 +1,341 @@
+// Package analysis computes the paper's experiment results from a measured
+// corpus: per-country score tables, subregion aggregates, insularity
+// distributions, continent-dependence matrices, class correlations, the
+// longitudinal comparison, and the TLD study. The report package renders
+// these structures; the experiments command maps each to its table/figure.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/webdep/webdep/internal/classify"
+	"github.com/webdep/webdep/internal/core"
+	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/stats"
+	"github.com/webdep/webdep/internal/tldinfo"
+)
+
+// CountryScore pairs a country with a metric value.
+type CountryScore struct {
+	Code      string
+	Name      string
+	Region    string
+	Continent string
+	Value     float64
+}
+
+// SortedScores returns per-country centralization for a layer, most
+// centralized first (the paper's Tables 5–8 and Figures 5/17–19).
+func SortedScores(corpus *dataset.Corpus, layer countries.Layer) []CountryScore {
+	return sortCountryValues(corpus.Scores(layer))
+}
+
+// SortedInsularity returns per-country insularity for a layer, most insular
+// first (Figures 13 and 20–22). The TLD layer uses ccTLD semantics: a
+// site is insular when its TLD's home country is the list's country (.com
+// counts as insular to the U.S.).
+func SortedInsularity(corpus *dataset.Corpus, layer countries.Layer) []CountryScore {
+	vals := Insularities(corpus, layer)
+	out := sortCountryValues(vals)
+	return out
+}
+
+// Insularities computes per-country insularity for any layer, handling the
+// TLD layer's ccTLD semantics.
+func Insularities(corpus *dataset.Corpus, layer countries.Layer) map[string]float64 {
+	if layer != countries.TLD {
+		return corpus.Insularities(layer)
+	}
+	out := make(map[string]float64, len(corpus.Lists))
+	for cc, list := range corpus.Lists {
+		var ins core.Insularity
+		for i := range list.Sites {
+			tld := list.Sites[i].TLD
+			if tld == "" {
+				continue
+			}
+			ins.Observe(cc, tldinfo.InsularTo(tld))
+		}
+		out[cc] = ins.Fraction()
+	}
+	return out
+}
+
+func sortCountryValues(vals map[string]float64) []CountryScore {
+	out := make([]CountryScore, 0, len(vals))
+	for cc, v := range vals {
+		c, _ := countries.ByCode(cc)
+		out = append(out, CountryScore{
+			Code: cc, Name: c.Name, Region: c.Region, Continent: c.Continent, Value: v,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Value != out[j].Value {
+			return out[i].Value > out[j].Value
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// RegionAggregate is one subregion's summary for a layer.
+type RegionAggregate struct {
+	Region    string
+	Continent string
+	Mean      float64
+	Min, Max  float64
+	Countries int
+}
+
+// BySubregion aggregates a per-country metric into UN-subregion summaries
+// (Figures 9 and 10).
+func BySubregion(vals map[string]float64) []RegionAggregate {
+	type acc struct {
+		continent string
+		xs        []float64
+	}
+	regions := map[string]*acc{}
+	for cc, v := range vals {
+		c, _ := countries.ByCode(cc)
+		a := regions[c.Region]
+		if a == nil {
+			a = &acc{continent: c.Continent}
+			regions[c.Region] = a
+		}
+		a.xs = append(a.xs, v)
+	}
+	out := make([]RegionAggregate, 0, len(regions))
+	for region, a := range regions {
+		out = append(out, RegionAggregate{
+			Region:    region,
+			Continent: a.continent,
+			Mean:      stats.Mean(a.xs),
+			Min:       stats.Min(a.xs),
+			Max:       stats.Max(a.xs),
+			Countries: len(a.xs),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Mean > out[j].Mean })
+	return out
+}
+
+// ByContinent aggregates a per-country metric into continent summaries
+// (the color-coding of Figures 5 and 17–19).
+func ByContinent(vals map[string]float64) []RegionAggregate {
+	perContinent := map[string][]float64{}
+	for cc, v := range vals {
+		c, _ := countries.ByCode(cc)
+		perContinent[c.Continent] = append(perContinent[c.Continent], v)
+	}
+	out := make([]RegionAggregate, 0, len(perContinent))
+	for continent, xs := range perContinent {
+		out = append(out, RegionAggregate{
+			Region:    continent,
+			Continent: continent,
+			Mean:      stats.Mean(xs),
+			Min:       stats.Min(xs),
+			Max:       stats.Max(xs),
+			Countries: len(xs),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Mean > out[j].Mean })
+	return out
+}
+
+// LayerSummary is one layer's global aggregate (the 𝒮̄ and var numbers the
+// paper quotes per layer).
+type LayerSummary struct {
+	Layer       countries.Layer
+	Mean        float64
+	Variance    float64
+	Median      float64
+	GlobalTop   float64 // 𝒮 of the aggregated global toplist (Figure 12 marker)
+	MostCode    string
+	MostValue   float64
+	LeastCode   string
+	LeastValue  float64
+	MeanInsular float64
+}
+
+// SummarizeLayer computes the headline aggregates for one layer.
+func SummarizeLayer(corpus *dataset.Corpus, layer countries.Layer) LayerSummary {
+	scores := corpus.Scores(layer)
+	var xs []float64
+	sum := LayerSummary{Layer: layer, MostValue: -1, LeastValue: 2}
+	for cc, v := range scores {
+		xs = append(xs, v)
+		if v > sum.MostValue {
+			sum.MostCode, sum.MostValue = cc, v
+		}
+		if v < sum.LeastValue {
+			sum.LeastCode, sum.LeastValue = cc, v
+		}
+	}
+	sum.Mean = stats.Mean(xs)
+	sum.Variance = stats.Variance(xs)
+	sum.Median = stats.Median(xs)
+	sum.GlobalTop = corpus.GlobalDistribution(layer).Score()
+	var ins []float64
+	for _, v := range Insularities(corpus, layer) {
+		ins = append(ins, v)
+	}
+	sum.MeanInsular = stats.Mean(ins)
+	return sum
+}
+
+// InsularityCDF returns the empirical CDF of a layer's insularity across
+// countries (Figure 11).
+func InsularityCDF(corpus *dataset.Corpus, layer countries.Layer) *stats.ECDF {
+	vals := Insularities(corpus, layer)
+	xs := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		xs = append(xs, v)
+	}
+	return stats.NewECDF(xs)
+}
+
+// ScoreHistogram bins a layer's country scores (Figure 12) and returns the
+// Global-Top-10k marker value.
+func ScoreHistogram(corpus *dataset.Corpus, layer countries.Layer, bins int) (*stats.Histogram, float64) {
+	h := stats.NewHistogram(0, 0.65, bins)
+	for _, v := range corpus.Scores(layer) {
+		h.Add(v)
+	}
+	return h, corpus.GlobalDistribution(layer).Score()
+}
+
+// DependenceBasis selects what Figure 8's dependence matrix is computed
+// over.
+type DependenceBasis int
+
+const (
+	// ByProviderHQ groups sites by the hosting provider's home continent
+	// (Figure 8a).
+	ByProviderHQ DependenceBasis = iota
+	// ByIPGeolocation groups sites by the serving IP's continent
+	// (Figure 8b).
+	ByIPGeolocation
+	// ByNSGeolocation groups sites by the nameserver IP's continent,
+	// with anycast broken out (Figure 8c).
+	ByNSGeolocation
+)
+
+// DependenceCell is one (subregion, target) share.
+type DependenceMatrix struct {
+	// Shares[subregion][target] is the fraction of the subregion's sites
+	// attributed to the target continent ("anycast" is a target for the
+	// NS basis).
+	Shares map[string]map[string]float64
+}
+
+// ContinentDependence computes Figure 8's matrices.
+func ContinentDependence(corpus *dataset.Corpus, basis DependenceBasis) *DependenceMatrix {
+	m := &DependenceMatrix{Shares: map[string]map[string]float64{}}
+	counts := map[string]map[string]int{}
+	totals := map[string]int{}
+	for cc, list := range corpus.Lists {
+		c, _ := countries.ByCode(cc)
+		row := counts[c.Region]
+		if row == nil {
+			row = map[string]int{}
+			counts[c.Region] = row
+		}
+		for i := range list.Sites {
+			s := &list.Sites[i]
+			var target string
+			switch basis {
+			case ByProviderHQ:
+				if s.HostProviderCountry == "" {
+					continue
+				}
+				hq, _ := countries.ByCode(s.HostProviderCountry)
+				target = hq.Continent
+			case ByIPGeolocation:
+				target = s.HostIPContinent
+			case ByNSGeolocation:
+				if s.NSAnycast {
+					target = "anycast"
+				} else {
+					target = s.NSIPContinent
+				}
+			}
+			if target == "" {
+				continue
+			}
+			row[target]++
+			totals[c.Region]++
+		}
+	}
+	for region, row := range counts {
+		total := totals[region]
+		if total == 0 {
+			continue
+		}
+		out := map[string]float64{}
+		for target, n := range row {
+			out[target] = float64(n) / float64(total)
+		}
+		m.Shares[region] = out
+	}
+	return m
+}
+
+// Correlation is one of the paper's quoted correlation results.
+type Correlation struct {
+	Label    string
+	Rho      float64
+	PValue   float64
+	Strength string
+	PaperRho float64 // the value the paper reports, for side-by-side output
+}
+
+// ClassCorrelations reproduces Section 5's correlation battery from a
+// hosting classification: XL-GP dominance vs 𝒮 (paper: 0.90), other L-GP
+// share vs 𝒮 (0.19), L-RP share vs 𝒮 (−0.72), and insularity vs 𝒮 (−0.61).
+func ClassCorrelations(corpus *dataset.Corpus, cls *classify.Result) ([]Correlation, error) {
+	scores := corpus.Scores(countries.Hosting)
+	ccs := corpus.Countries()
+	scoreVec := make([]float64, len(ccs))
+	for i, cc := range ccs {
+		scoreVec[i] = scores[cc]
+	}
+	vec := func(m map[string]float64) []float64 {
+		out := make([]float64, len(ccs))
+		for i, cc := range ccs {
+			out[i] = m[cc]
+		}
+		return out
+	}
+
+	xl := classify.ClassShares(corpus, countries.Hosting, cls, classify.XLGlobal)
+	lg := classify.ClassShares(corpus, countries.Hosting, cls, classify.LGlobal, classify.LGlobalRegion)
+	lr := classify.ClassShares(corpus, countries.Hosting, cls, classify.LRegional)
+	ins := Insularities(corpus, countries.Hosting)
+
+	specs := []struct {
+		label    string
+		xs       []float64
+		paperRho float64
+	}{
+		{"XL-GP share vs centralization", vec(xl), 0.90},
+		{"L-GP share vs centralization", vec(lg), 0.19},
+		{"L-RP share vs centralization", vec(lr), -0.72},
+		{"hosting insularity vs centralization", vec(ins), -0.61},
+	}
+	out := make([]Correlation, 0, len(specs))
+	for _, spec := range specs {
+		rho, err := stats.Pearson(spec.xs, scoreVec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Correlation{
+			Label:    spec.label,
+			Rho:      rho,
+			PValue:   stats.PearsonPValue(rho, len(ccs)),
+			Strength: stats.CorrelationStrength(rho),
+			PaperRho: spec.paperRho,
+		})
+	}
+	return out, nil
+}

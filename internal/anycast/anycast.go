@@ -1,0 +1,48 @@
+// Package anycast tracks which IP prefixes are anycast-announced — the
+// substitute for the bgp.tools anycast-prefix dataset the paper uses to
+// annotate hosting and nameserver addresses.
+package anycast
+
+import (
+	"net/netip"
+
+	"github.com/webdep/webdep/internal/iptrie"
+)
+
+// Set is a collection of anycast prefixes supporting containment queries.
+// Construct with New; concurrent queries after population are safe.
+type Set struct {
+	trie *iptrie.Trie[struct{}]
+}
+
+// New returns an empty set.
+func New() *Set { return &Set{trie: iptrie.New[struct{}]()} }
+
+// Add marks a prefix as anycast.
+func (s *Set) Add(prefix netip.Prefix) error {
+	return s.trie.Insert(prefix, struct{}{})
+}
+
+// AddString marks a CIDR string as anycast.
+func (s *Set) AddString(cidr string) error {
+	return s.trie.InsertString(cidr, struct{}{})
+}
+
+// Contains reports whether the address falls in any anycast prefix.
+func (s *Set) Contains(addr netip.Addr) bool {
+	_, ok := s.trie.Lookup(addr)
+	return ok
+}
+
+// ContainsString is Contains over a string address; invalid addresses are
+// not anycast.
+func (s *Set) ContainsString(ip string) bool {
+	addr, err := netip.ParseAddr(ip)
+	if err != nil {
+		return false
+	}
+	return s.Contains(addr)
+}
+
+// Len reports the number of anycast prefixes.
+func (s *Set) Len() int { return s.trie.Len() }

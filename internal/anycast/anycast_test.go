@@ -1,0 +1,38 @@
+package anycast
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestContains(t *testing.T) {
+	s := New()
+	if err := s.AddString("104.16.0.0/13"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(netip.MustParsePrefix("192.0.2.0/24")); err != nil {
+		t.Fatal(err)
+	}
+	if !s.ContainsString("104.17.1.1") {
+		t.Error("anycast address not detected")
+	}
+	if !s.Contains(netip.MustParseAddr("192.0.2.7")) {
+		t.Error("second prefix not detected")
+	}
+	if s.ContainsString("8.8.4.4") {
+		t.Error("unicast address reported anycast")
+	}
+	if s.ContainsString("garbage") {
+		t.Error("garbage address reported anycast")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestBadPrefix(t *testing.T) {
+	s := New()
+	if err := s.AddString("nope"); err == nil {
+		t.Error("bad CIDR accepted")
+	}
+}

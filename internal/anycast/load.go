@@ -1,0 +1,29 @@
+package anycast
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Load populates the set from a one-prefix-per-line feed, the shape of the
+// bgp.tools anycast prefix dataset the paper uses. Comments with '#' and
+// blank lines are ignored.
+func (s *Set) Load(r io.Reader) (int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	n, line := 0, 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if err := s.AddString(text); err != nil {
+			return n, fmt.Errorf("anycast: line %d: %w", line, err)
+		}
+		n++
+	}
+	return n, scanner.Err()
+}

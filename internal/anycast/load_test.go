@@ -1,0 +1,31 @@
+package anycast
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoad(t *testing.T) {
+	feed := `# bgp.tools anycast prefixes
+104.16.0.0/13
+
+2001:db8::/32
+`
+	s := New()
+	n, err := s.Load(strings.NewReader(feed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || s.Len() != 2 {
+		t.Fatalf("loaded %d prefixes", n)
+	}
+	if !s.ContainsString("104.20.1.1") || !s.ContainsString("2001:db8::1") {
+		t.Error("loaded prefixes not queryable")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := New().Load(strings.NewReader("not-a-prefix")); err == nil {
+		t.Error("bad prefix accepted")
+	}
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDistributionZeroValueUsable(t *testing.T) {
+	var d Distribution
+	d.Observe("p1")
+	d.Observe("p1")
+	d.Observe("p2")
+	if d.Total() != 3 || d.NumProviders() != 2 {
+		t.Fatalf("total %v providers %d", d.Total(), d.NumProviders())
+	}
+	if d.Count("p1") != 2 || !almostEqual(d.Share("p1"), 2.0/3, 1e-12) {
+		t.Errorf("p1 count/share wrong")
+	}
+}
+
+func TestDistributionIgnoresNonpositive(t *testing.T) {
+	d := NewDistribution()
+	d.Add("p", 0)
+	d.Add("p", -3)
+	if d.Total() != 0 || d.NumProviders() != 0 {
+		t.Errorf("nonpositive adds should be ignored: %v %d", d.Total(), d.NumProviders())
+	}
+}
+
+func TestFromCounts(t *testing.T) {
+	d := FromCounts(map[string]float64{"a": 5, "b": 3, "c": -1})
+	if d.Total() != 8 || d.NumProviders() != 2 {
+		t.Fatalf("FromCounts: total %v providers %d", d.Total(), d.NumProviders())
+	}
+}
+
+func TestScoreKnownValues(t *testing.T) {
+	// Monopoly of 10 sites: 1 − 1/10.
+	d := FromCounts(map[string]float64{"mono": 10})
+	if got := d.Score(); !almostEqual(got, 0.9, 1e-12) {
+		t.Errorf("monopoly score = %v, want 0.9", got)
+	}
+	// Fully decentralized: 0.
+	d = NewDistribution()
+	for i := 0; i < 50; i++ {
+		d.Add(string(rune('a'+i)), 1)
+	}
+	if got := d.Score(); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("decentralized score = %v, want 0", got)
+	}
+	// Empty: 0.
+	if got := NewDistribution().Score(); got != 0 {
+		t.Errorf("empty score = %v", got)
+	}
+}
+
+func TestScoreEqualsHHIMinusCorrection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDistribution()
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			d.Add(string(rune('a'+i)), float64(1+rng.Intn(30)))
+		}
+		return almostEqual(d.Score(), d.HHI()-1/d.Total(), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopNShareAndRanked(t *testing.T) {
+	d := FromCounts(map[string]float64{"big": 42, "mid": 5, "sm1": 2, "sm2": 1})
+	if got := d.TopNShare(1); !almostEqual(got, 0.84, 1e-12) {
+		t.Errorf("TopNShare(1) = %v", got)
+	}
+	if got := d.TopNShare(2); !almostEqual(got, 0.94, 1e-12) {
+		t.Errorf("TopNShare(2) = %v", got)
+	}
+	if got := d.TopNShare(100); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("TopNShare(all) = %v", got)
+	}
+	ranked := d.Ranked()
+	if ranked[0].Provider != "big" || ranked[1].Provider != "mid" {
+		t.Errorf("Ranked order wrong: %+v", ranked)
+	}
+	// Ties break deterministically by name.
+	tie := FromCounts(map[string]float64{"z": 1, "a": 1})
+	r := tie.Ranked()
+	if r[0].Provider != "a" {
+		t.Errorf("tie-break should prefer name order: %+v", r)
+	}
+}
+
+func TestTopTruncates(t *testing.T) {
+	d := FromCounts(map[string]float64{"a": 3, "b": 2, "c": 1})
+	if got := len(d.Top(2)); got != 2 {
+		t.Errorf("Top(2) len = %d", got)
+	}
+	if got := len(d.Top(10)); got != 3 {
+		t.Errorf("Top(10) len = %d", got)
+	}
+}
+
+func TestProvidersForCoverage(t *testing.T) {
+	// The paper: "90% of websites are hosted by fewer than 206 providers in
+	// every country." Reproduce the mechanics on a small example.
+	d := FromCounts(map[string]float64{"a": 60, "b": 25, "c": 10, "d": 5})
+	if got := d.ProvidersForCoverage(0.60); got != 1 {
+		t.Errorf("coverage 0.60 needs %d providers, want 1", got)
+	}
+	if got := d.ProvidersForCoverage(0.85); got != 2 {
+		t.Errorf("coverage 0.85 needs %d, want 2", got)
+	}
+	if got := d.ProvidersForCoverage(0.951); got != 4 {
+		t.Errorf("coverage 0.951 needs %d, want 4", got)
+	}
+	if got := d.ProvidersForCoverage(1.0); got != 4 {
+		t.Errorf("coverage 1.0 needs %d, want 4", got)
+	}
+	if got := NewDistribution().ProvidersForCoverage(0.9); got != 0 {
+		t.Errorf("empty coverage = %d", got)
+	}
+}
+
+func TestRankCurveMonotone(t *testing.T) {
+	d := FromCounts(map[string]float64{"a": 5, "b": 3, "c": 2})
+	curve := d.RankCurve()
+	if len(curve) != 3 {
+		t.Fatalf("curve len %d", len(curve))
+	}
+	want := []float64{0.5, 0.8, 1.0}
+	for i := range want {
+		if !almostEqual(curve[i], want[i], 1e-12) {
+			t.Fatalf("curve = %v, want %v", curve, want)
+		}
+	}
+}
+
+func TestFigure1TopNShortcoming(t *testing.T) {
+	// The paper's motivating example: Azerbaijan and Hong Kong both have 59%
+	// of sites run by their top five providers, but AZ's steeper drop-off
+	// (42%, 5%, …) makes it more centralized than HK (33%, 12%, …).
+	longTail := func(d *Distribution, mass float64) {
+		// Spread the remaining mass over many small providers (1% each) so
+		// the top-5 stays the intended set.
+		for i := 0; mass > 0; i++ {
+			n := math.Min(1, mass)
+			d.Add("tail"+string(rune('a'+i)), n)
+			mass -= n
+		}
+	}
+	az := FromCounts(map[string]float64{"cf": 42, "p2": 5, "p3": 4.5, "p4": 4, "p5": 3.5})
+	longTail(az, 41)
+	hk := FromCounts(map[string]float64{"cf": 33, "p2": 12, "p3": 5, "p4": 4.5, "p5": 4.5})
+	longTail(hk, 41)
+	if !almostEqual(az.TopNShare(5), hk.TopNShare(5), 1e-9) {
+		t.Fatalf("construction broken: top-5 %v vs %v", az.TopNShare(5), hk.TopNShare(5))
+	}
+	if az.Score() <= hk.Score() {
+		t.Errorf("𝒮 should separate AZ (%v) above HK (%v) despite equal top-5", az.Score(), hk.Score())
+	}
+}
+
+func TestScoreInvariantToProviderIdentity(t *testing.T) {
+	// Requirement 3 of Section 3.1: the metric depends only on the shape of
+	// the distribution, not the providers comprising it.
+	a := FromCounts(map[string]float64{"cloudflare": 10, "amazon": 5, "ovh": 1})
+	b := FromCounts(map[string]float64{"x": 10, "y": 5, "z": 1})
+	if !almostEqual(a.Score(), b.Score(), 1e-12) {
+		t.Errorf("identity should not matter: %v vs %v", a.Score(), b.Score())
+	}
+}
+
+func TestInterpret(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want string
+	}{
+		{0.05, Competitive},
+		{0.0999, Competitive},
+		{0.10, ModeratelyConcentrated},
+		{0.15, ModeratelyConcentrated},
+		{0.18, ModeratelyConcentrated},
+		{0.1801, HighlyConcentrated},
+		{0.5, HighlyConcentrated},
+	}
+	for _, c := range cases {
+		if got := Interpret(c.s); got != c.want {
+			t.Errorf("Interpret(%v) = %q, want %q", c.s, got, c.want)
+		}
+	}
+}
+
+func TestMaxScore(t *testing.T) {
+	if got := MaxScore(10000); !almostEqual(got, 0.9999, 1e-9) {
+		t.Errorf("MaxScore(10000) = %v", got)
+	}
+}
+
+func TestCountsSortedDescending(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDistribution()
+		for i := 0; i < 1+rng.Intn(15); i++ {
+			d.Add(string(rune('a'+i)), float64(1+rng.Intn(40)))
+		}
+		counts := d.Counts()
+		for i := 1; i < len(counts); i++ {
+			if counts[i] > counts[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/webdep/webdep/internal/emd"
+)
+
+// This file implements the customization hooks the paper's Section 3.2
+// sketches as future directions: comparing two observed distributions
+// pairwise instead of against the decentralized reference, and weighting
+// websites by mass (e.g. traffic) rather than equally.
+//
+// Equal-weight observation is Distribution.Observe; traffic weighting is
+// already supported by Distribution.Add(provider, mass) — the metrics are
+// defined over mass, so nothing else changes. PairwiseEMD supplies the
+// redefined ground distance for country-to-country comparison.
+
+// ErrEmptyDistribution is returned when a pairwise comparison receives a
+// distribution with no mass.
+var ErrEmptyDistribution = errors.New("core: empty distribution")
+
+// PairwiseEMD compares two observed distributions directly, without the
+// decentralized reference: both are normalized to unit mass over their
+// provider ranks, and the ground distance between rank i of A and rank j
+// of B is the vertical difference of their shares, |aᵢ/C_A − bⱼ/C_B|.
+//
+// The result is a symmetric distance in [0, 1): 0 when the two
+// distributions have the same shape (identical share-by-rank curves,
+// regardless of which providers realize them), larger as their shapes
+// diverge. Note the deliberate provider-blindness — like 𝒮 itself, the
+// comparison is about the structure of dependence, not the names
+// (requirement 3 of Section 3.1).
+func PairwiseEMD(a, b *Distribution) (float64, error) {
+	if a.Total() == 0 || b.Total() == 0 {
+		return 0, ErrEmptyDistribution
+	}
+	sharesA := normalizedShares(a)
+	sharesB := normalizedShares(b)
+	cost := make([][]float64, len(sharesA))
+	for i := range cost {
+		cost[i] = make([]float64, len(sharesB))
+		for j := range cost[i] {
+			d := sharesA[i] - sharesB[j]
+			if d < 0 {
+				d = -d
+			}
+			cost[i][j] = d
+		}
+	}
+	plan, err := emd.Solve(sharesA, sharesB, cost)
+	if err != nil {
+		return 0, err
+	}
+	return plan.Distance(), nil
+}
+
+func normalizedShares(d *Distribution) []float64 {
+	counts := d.Counts() // nonincreasing
+	total := d.Total()
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = c / total
+	}
+	return out
+}
+
+// RedundancyDistribution is the Section 3.2 "provider redundancy"
+// customization: aᵢ counts the websites that *require* provider i to
+// function (every provider in a site's dependency set), rather than the
+// single provider serving it. Feed each site's full dependency set here
+// and use Score as usual; sites with many hard dependencies contribute
+// mass to each.
+type RedundancyDistribution struct {
+	Distribution
+	sites float64
+}
+
+// ObserveSite records one website that requires every listed provider.
+// Duplicate providers within one site are counted once.
+func (r *RedundancyDistribution) ObserveSite(providers ...string) {
+	seen := make(map[string]bool, len(providers))
+	for _, p := range providers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		r.Observe(p)
+	}
+	if len(seen) > 0 {
+		r.sites++
+	}
+}
+
+// Sites returns the number of websites observed (as opposed to Total,
+// which counts site→provider dependency edges).
+func (r *RedundancyDistribution) Sites() float64 { return r.sites }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairwiseEMDIdenticalShapes(t *testing.T) {
+	a := FromCounts(map[string]float64{"cloudflare": 10, "amazon": 5, "ovh": 1})
+	b := FromCounts(map[string]float64{"x": 20, "y": 10, "z": 2}) // same shape, 2× scale
+	d, err := PairwiseEMD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0, 1e-9) {
+		t.Errorf("identical shapes: d = %v, want 0", d)
+	}
+}
+
+func TestPairwiseEMDDiscriminatesShapes(t *testing.T) {
+	flat := NewDistribution()
+	for i := 0; i < 10; i++ {
+		flat.Add(string(rune('a'+i)), 10)
+	}
+	skewed := FromCounts(map[string]float64{"big": 91, "s1": 3, "s2": 3, "s3": 3})
+	mild := FromCounts(map[string]float64{"a": 40, "b": 30, "c": 20, "d": 10})
+
+	dSkew, err := PairwiseEMD(flat, skewed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dMild, err := PairwiseEMD(flat, mild)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dSkew <= dMild {
+		t.Errorf("flat↔skewed (%v) should exceed flat↔mild (%v)", dSkew, dMild)
+	}
+}
+
+func TestPairwiseEMDSymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *Distribution {
+			d := NewDistribution()
+			for i := 0; i < 1+rng.Intn(8); i++ {
+				d.Add(string(rune('a'+i)), float64(1+rng.Intn(30)))
+			}
+			return d
+		}
+		a, b := mk(), mk()
+		dab, err1 := PairwiseEMD(a, b)
+		dba, err2 := PairwiseEMD(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(dab-dba) < 1e-9 && dab >= -1e-12 && dab < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairwiseEMDSelfZeroProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDistribution()
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			d.Add(string(rune('a'+i)), float64(1+rng.Intn(40)))
+		}
+		v, err := PairwiseEMD(d, d)
+		return err == nil && math.Abs(v) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPairwiseEMDEmpty(t *testing.T) {
+	if _, err := PairwiseEMD(NewDistribution(), FromCounts(map[string]float64{"a": 1})); err != ErrEmptyDistribution {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTrafficWeighting(t *testing.T) {
+	// The §3.2 mass extension: weighting sites by traffic changes 𝒮 when
+	// heavy sites concentrate on one provider.
+	equal := NewDistribution()
+	weighted := NewDistribution()
+	// Ten sites on 'big', ten on small providers.
+	for i := 0; i < 10; i++ {
+		equal.Observe("big")
+		equal.Observe(string(rune('a' + i)))
+		weighted.Add("big", 100) // heavy traffic on the big provider's sites
+		weighted.Add(string(rune('a'+i)), 1)
+	}
+	if weighted.Score() <= equal.Score() {
+		t.Errorf("traffic weighting should raise 𝒮: %v vs %v", weighted.Score(), equal.Score())
+	}
+}
+
+func TestRedundancyDistribution(t *testing.T) {
+	var r RedundancyDistribution
+	// Site 1 requires CDN + DNS + CA providers; duplicates collapse.
+	r.ObserveSite("Cloudflare", "Cloudflare", "NSONE", "Let's Encrypt")
+	r.ObserveSite("Akamai", "NSONE")
+	r.ObserveSite() // no providers: not a site
+	r.ObserveSite("", "")
+
+	if r.Sites() != 2 {
+		t.Errorf("Sites = %v", r.Sites())
+	}
+	if r.Total() != 5 { // 3 + 2 dependency edges
+		t.Errorf("Total = %v", r.Total())
+	}
+	if r.Count("NSONE") != 2 {
+		t.Errorf("NSONE = %v", r.Count("NSONE"))
+	}
+	if r.Score() <= 0 {
+		t.Errorf("Score = %v", r.Score())
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import "sort"
+
+// UsageCurve is a provider's usage profile across countries: the percentage
+// of popular websites in each country that use the provider, arranged as a
+// nonincreasing sequence (Section 3.3, after Ruth et al.). Percentages are
+// expressed in [0, 100].
+type UsageCurve struct {
+	values []float64 // nonincreasing
+}
+
+// NewUsageCurve builds a usage curve from per-country usage percentages in
+// any order; the curve sorts them nonincreasing. Negative values are
+// clamped to 0. The input is copied.
+func NewUsageCurve(percents []float64) UsageCurve {
+	vs := make([]float64, len(percents))
+	for i, p := range percents {
+		if p < 0 {
+			p = 0
+		}
+		vs[i] = p
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vs)))
+	return UsageCurve{values: vs}
+}
+
+// Values returns the nonincreasing usage sequence (u1, u2, …, un). The
+// returned slice is shared; callers must not modify it.
+func (u UsageCurve) Values() []float64 { return u.values }
+
+// Countries returns n, the number of countries on the curve.
+func (u UsageCurve) Countries() int { return len(u.values) }
+
+// Usage returns 𝑈 = Σ u_i, the area under the usage curve — the provider's
+// total scale across the dataset's countries.
+func (u UsageCurve) Usage() float64 {
+	var sum float64
+	for _, v := range u.values {
+		sum += v
+	}
+	return sum
+}
+
+// Endemicity returns E = Σ (u1 − u_i), the area between the usage curve and
+// the flat line at its maximum — the deviation from globally consistent
+// usage. A perfectly flat curve (equal use everywhere) has endemicity 0.
+func (u UsageCurve) Endemicity() float64 {
+	if len(u.values) == 0 {
+		return 0
+	}
+	u1 := u.values[0]
+	var sum float64
+	for _, v := range u.values {
+		sum += u1 - v
+	}
+	return sum
+}
+
+// EndemicityRatio returns E_R = E / (U + E) ∈ [0, 1], the paper's
+// size-normalized endemicity: small values indicate global reach, large
+// values regional concentration. An all-zero curve has ratio 0.
+func (u UsageCurve) EndemicityRatio() float64 {
+	usage := u.Usage()
+	end := u.Endemicity()
+	if usage+end == 0 {
+		return 0
+	}
+	return end / (usage + end)
+}
+
+// Peak returns u1, the provider's maximum usage in any country.
+func (u UsageCurve) Peak() float64 {
+	if len(u.values) == 0 {
+		return 0
+	}
+	return u.values[0]
+}
+
+// Insularity is a country's self-sufficiency at one infrastructure layer:
+// the fraction of its websites served by a provider based in the same
+// country (Section 3.3).
+type Insularity struct {
+	Domestic float64 // websites served from the same country
+	Total    float64 // all websites with a known provider country
+}
+
+// Fraction returns the insularity value in [0, 1], or 0 when no websites
+// were observed.
+func (i Insularity) Fraction() float64 {
+	if i.Total == 0 {
+		return 0
+	}
+	return i.Domestic / i.Total
+}
+
+// ObserveInsularity accumulates one website whose serving provider is based
+// in providerCountry into the insularity tally for siteCountry.
+func (i *Insularity) Observe(siteCountry, providerCountry string) {
+	i.Total++
+	if siteCountry != "" && siteCountry == providerCountry {
+		i.Domestic++
+	}
+}
+
+// CrossDependence tallies, for one country, the share of websites served by
+// providers based in each foreign (or domestic) country. It backs the
+// paper's Section 5.3 regional case studies (CIS→Russia, former French
+// colonies→France, Slovakia→Czechia, …).
+type CrossDependence struct {
+	counts map[string]float64
+	total  float64
+}
+
+// NewCrossDependence returns an empty tally.
+func NewCrossDependence() *CrossDependence {
+	return &CrossDependence{counts: make(map[string]float64)}
+}
+
+// Observe records one website served from providerCountry.
+func (c *CrossDependence) Observe(providerCountry string) {
+	c.counts[providerCountry]++
+	c.total++
+}
+
+// Share returns the fraction of websites served from the given country.
+func (c *CrossDependence) Share(country string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return c.counts[country] / c.total
+}
+
+// Top returns the n countries serving the largest share, ordered by
+// decreasing share (ties broken by country code).
+func (c *CrossDependence) Top(n int) []ProviderShare {
+	out := make([]ProviderShare, 0, len(c.counts))
+	for cc, cnt := range c.counts {
+		share := 0.0
+		if c.total > 0 {
+			share = cnt / c.total
+		}
+		out = append(out, ProviderShare{Provider: cc, Count: cnt, Share: share})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Provider < out[j].Provider
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}

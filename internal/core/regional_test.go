@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUsageCurveSortsInput(t *testing.T) {
+	u := NewUsageCurve([]float64{5, 30, 10})
+	vs := u.Values()
+	if vs[0] != 30 || vs[1] != 10 || vs[2] != 5 {
+		t.Fatalf("Values = %v", vs)
+	}
+	if u.Countries() != 3 || u.Peak() != 30 {
+		t.Errorf("Countries/Peak wrong: %d %v", u.Countries(), u.Peak())
+	}
+}
+
+func TestUsageCurveClampNegative(t *testing.T) {
+	u := NewUsageCurve([]float64{-5, 10})
+	if u.Values()[1] != 0 {
+		t.Errorf("negative usage should clamp to 0: %v", u.Values())
+	}
+}
+
+func TestUsageAndEndemicityKnownValues(t *testing.T) {
+	// Flat curve: used equally everywhere → endemicity 0, ratio 0.
+	flat := NewUsageCurve([]float64{20, 20, 20, 20})
+	if got := flat.Usage(); got != 80 {
+		t.Errorf("Usage = %v", got)
+	}
+	if got := flat.Endemicity(); got != 0 {
+		t.Errorf("flat Endemicity = %v", got)
+	}
+	if got := flat.EndemicityRatio(); got != 0 {
+		t.Errorf("flat ratio = %v", got)
+	}
+
+	// One-country provider: maximally endemic.
+	endemic := NewUsageCurve([]float64{40, 0, 0, 0})
+	if got := endemic.Usage(); got != 40 {
+		t.Errorf("Usage = %v", got)
+	}
+	if got := endemic.Endemicity(); got != 120 { // 0 + 40 + 40 + 40
+		t.Errorf("Endemicity = %v", got)
+	}
+	if got := endemic.EndemicityRatio(); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("ratio = %v, want 0.75", got)
+	}
+}
+
+func TestEndemicityRatioNormalizesScale(t *testing.T) {
+	// The paper's motivation for the ratio: without it, endemicity depends
+	// on the provider's maximum use. Two providers with identical *shape*
+	// but different scale must share an endemicity ratio.
+	small := NewUsageCurve([]float64{10, 5, 2, 1})
+	big := NewUsageCurve([]float64{40, 20, 8, 4})
+	if math.Abs(small.EndemicityRatio()-big.EndemicityRatio()) > 1e-12 {
+		t.Errorf("ratio should be scale-invariant: %v vs %v",
+			small.EndemicityRatio(), big.EndemicityRatio())
+	}
+	// Raw endemicity is NOT scale-invariant — the problem the ratio fixes.
+	if small.Endemicity() == big.Endemicity() {
+		t.Error("raw endemicity unexpectedly scale-invariant")
+	}
+}
+
+func TestGlobalVsRegionalProviderOrdering(t *testing.T) {
+	// Figure 4: a global provider (significant use in many countries) must
+	// have higher usage and lower endemicity ratio than a regional provider
+	// (high use in a handful of countries).
+	global := make([]float64, 150)
+	for i := range global {
+		global[i] = 60 * math.Exp(-float64(i)/80) // slow decay, used broadly
+	}
+	regional := make([]float64, 150)
+	for i := 0; i < 6; i++ {
+		regional[i] = 20 - float64(i)*2.5 // Beget-like: strong in CIS only
+	}
+	g := NewUsageCurve(global)
+	r := NewUsageCurve(regional)
+	if g.Usage() <= r.Usage() {
+		t.Errorf("global usage %v should exceed regional %v", g.Usage(), r.Usage())
+	}
+	if g.EndemicityRatio() >= r.EndemicityRatio() {
+		t.Errorf("global E_R %v should be below regional %v",
+			g.EndemicityRatio(), r.EndemicityRatio())
+	}
+}
+
+func TestEndemicityRatioBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(150)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.Float64() * 100
+		}
+		r := NewUsageCurve(vals).EndemicityRatio()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyUsageCurve(t *testing.T) {
+	u := NewUsageCurve(nil)
+	if u.Usage() != 0 || u.Endemicity() != 0 || u.EndemicityRatio() != 0 || u.Peak() != 0 {
+		t.Error("empty curve should be all zeros")
+	}
+}
+
+func TestInsularity(t *testing.T) {
+	var ins Insularity
+	ins.Observe("US", "US")
+	ins.Observe("US", "US")
+	ins.Observe("US", "FR")
+	ins.Observe("US", "DE")
+	if got := ins.Fraction(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Fraction = %v, want 0.5", got)
+	}
+	var empty Insularity
+	if empty.Fraction() != 0 {
+		t.Error("empty insularity should be 0")
+	}
+	// Unknown provider country never counts as domestic.
+	var unk Insularity
+	unk.Observe("", "")
+	if unk.Fraction() != 0 {
+		t.Error("empty-country match must not count as domestic")
+	}
+}
+
+func TestCrossDependence(t *testing.T) {
+	cd := NewCrossDependence()
+	for i := 0; i < 33; i++ {
+		cd.Observe("RU")
+	}
+	for i := 0; i < 4; i++ {
+		cd.Observe("TM")
+	}
+	for i := 0; i < 63; i++ {
+		cd.Observe("US")
+	}
+	if got := cd.Share("RU"); math.Abs(got-0.33) > 1e-12 {
+		t.Errorf("RU share = %v", got)
+	}
+	top := cd.Top(2)
+	if len(top) != 2 || top[0].Provider != "US" || top[1].Provider != "RU" {
+		t.Errorf("Top = %+v", top)
+	}
+	if cd.Share("XX") != 0 {
+		t.Error("unknown country share should be 0")
+	}
+	if NewCrossDependence().Share("US") != 0 {
+		t.Error("empty tally share should be 0")
+	}
+}

@@ -1,0 +1,134 @@
+// Package crux models the Chrome User Experience Report toplist semantics
+// the paper's dataset is built on (Section 3.4): per-country popularity
+// lists whose entries carry rank-magnitude buckets rather than exact ranks,
+// whose lengths differ with traffic volume and Chrome adoption, and from
+// which the paper takes the top-10K cut for the 150 countries whose lists
+// are at least that long.
+package crux
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Bucket is a CrUX rank-magnitude bucket: sites are reported as being in
+// the top 1K, 5K, 10K, … rather than at exact ranks.
+type Bucket int
+
+// The standard CrUX rank magnitudes.
+var bucketBounds = []int{1000, 5000, 10000, 50000, 100000, 500000, 1000000}
+
+// BucketFor returns the rank-magnitude bucket for a 1-based rank: the
+// smallest standard magnitude that contains it.
+func BucketFor(rank int) (Bucket, error) {
+	if rank < 1 {
+		return 0, fmt.Errorf("crux: invalid rank %d", rank)
+	}
+	for _, bound := range bucketBounds {
+		if rank <= bound {
+			return Bucket(bound), nil
+		}
+	}
+	return 0, fmt.Errorf("crux: rank %d beyond the largest magnitude", rank)
+}
+
+// Magnitude returns the bucket's numeric bound (1000, 5000, …).
+func (b Bucket) Magnitude() int { return int(b) }
+
+// String renders the bucket as CrUX does ("top 10k").
+func (b Bucket) String() string {
+	switch {
+	case b >= 1000000:
+		return "top 1m"
+	case b >= 1000:
+		return fmt.Sprintf("top %dk", int(b)/1000)
+	default:
+		return fmt.Sprintf("top %d", int(b))
+	}
+}
+
+// Entry is one row of a country's CrUX-style list.
+type Entry struct {
+	Domain string
+	Bucket Bucket
+}
+
+// List is a country's popularity list with bucketed ranks.
+type List struct {
+	Country string
+	Entries []Entry
+}
+
+// ErrTooShort is returned when a cut asks for more sites than the list
+// holds.
+var ErrTooShort = errors.New("crux: list shorter than requested cut")
+
+// FromRanked converts an exact-ranked domain list into bucketed CrUX form.
+// Within a bucket, CrUX provides no ordering; the input order is preserved
+// but carries no meaning beyond bucket membership.
+func FromRanked(country string, domains []string) (*List, error) {
+	l := &List{Country: country}
+	for i, d := range domains {
+		b, err := BucketFor(i + 1)
+		if err != nil {
+			return nil, err
+		}
+		l.Entries = append(l.Entries, Entry{Domain: d, Bucket: b})
+	}
+	return l, nil
+}
+
+// Len returns the number of entries.
+func (l *List) Len() int { return len(l.Entries) }
+
+// Cut returns the domains of every bucket up to and including the magnitude
+// that covers n — the paper's "top 10K websites" selection. It fails with
+// ErrTooShort when the list does not reach n entries, mirroring how the
+// paper excludes countries with short lists.
+func (l *List) Cut(n int) ([]string, error) {
+	if len(l.Entries) < n {
+		return nil, fmt.Errorf("%w: have %d, want %d", ErrTooShort, len(l.Entries), n)
+	}
+	bound, err := BucketFor(n)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range l.Entries {
+		if e.Bucket <= bound && len(out) < n {
+			out = append(out, e.Domain)
+		}
+	}
+	return out, nil
+}
+
+// Buckets returns the bucket magnitudes present, ascending.
+func (l *List) Buckets() []Bucket {
+	seen := map[Bucket]bool{}
+	var out []Bucket
+	for _, e := range l.Entries {
+		if !seen[e.Bucket] {
+			seen[e.Bucket] = true
+			out = append(out, e.Bucket)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Eligibility reproduces the paper's country-selection rule: given each
+// country's list length, return the countries whose lists reach the cut
+// (the paper: 150 of 237, i.e. 63.3%, reach 10K), sorted by code.
+func Eligibility(listLengths map[string]int, cut int) (eligible []string, excluded []string) {
+	for cc, n := range listLengths {
+		if n >= cut {
+			eligible = append(eligible, cc)
+		} else {
+			excluded = append(excluded, cc)
+		}
+	}
+	sort.Strings(eligible)
+	sort.Strings(excluded)
+	return eligible, excluded
+}

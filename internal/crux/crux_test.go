@@ -1,0 +1,134 @@
+package crux
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		rank int
+		want Bucket
+	}{
+		{1, 1000}, {999, 1000}, {1000, 1000},
+		{1001, 5000}, {5000, 5000},
+		{5001, 10000}, {10000, 10000},
+		{10001, 50000}, {999999, 1000000}, {1000000, 1000000},
+	}
+	for _, c := range cases {
+		got, err := BucketFor(c.rank)
+		if err != nil || got != c.want {
+			t.Errorf("BucketFor(%d) = %v, %v; want %v", c.rank, got, err, c.want)
+		}
+	}
+	if _, err := BucketFor(0); err == nil {
+		t.Error("rank 0 accepted")
+	}
+	if _, err := BucketFor(1000001); err == nil {
+		t.Error("rank beyond largest magnitude accepted")
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	if Bucket(10000).String() != "top 10k" {
+		t.Errorf("String = %q", Bucket(10000).String())
+	}
+	if Bucket(1000000).String() != "top 1m" {
+		t.Errorf("String = %q", Bucket(1000000).String())
+	}
+	if Bucket(10000).Magnitude() != 10000 {
+		t.Error("Magnitude wrong")
+	}
+}
+
+func makeDomains(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("site-%05d.example", i)
+	}
+	return out
+}
+
+func TestFromRankedAndBuckets(t *testing.T) {
+	l, err := FromRanked("TH", makeDomains(12000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 12000 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	buckets := l.Buckets()
+	want := []Bucket{1000, 5000, 10000, 50000}
+	if len(buckets) != len(want) {
+		t.Fatalf("Buckets = %v", buckets)
+	}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("Buckets = %v, want %v", buckets, want)
+		}
+	}
+	// Entry 0 in top-1k, entry 9999 in top-10k, entry 10000 in top-50k.
+	if l.Entries[0].Bucket != 1000 || l.Entries[9999].Bucket != 10000 || l.Entries[10000].Bucket != 50000 {
+		t.Error("bucket assignment wrong")
+	}
+}
+
+func TestCut(t *testing.T) {
+	l, err := FromRanked("US", makeDomains(12000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top10k, err := l.Cut(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top10k) != 10000 {
+		t.Fatalf("cut = %d", len(top10k))
+	}
+	if top10k[0] != "site-00000.example" || top10k[9999] != "site-09999.example" {
+		t.Error("cut boundaries wrong")
+	}
+	// Short list refuses the cut (paper: countries with short lists are
+	// excluded).
+	short, err := FromRanked("MC", makeDomains(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := short.Cut(10000); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short cut error = %v", err)
+	}
+}
+
+func TestEligibility(t *testing.T) {
+	lengths := map[string]int{
+		"US": 500000, "TH": 50000, "IR": 10000, // exactly at the cut
+		"MC": 4000, "AD": 900,
+	}
+	eligible, excluded := Eligibility(lengths, 10000)
+	if len(eligible) != 3 || eligible[0] != "IR" || eligible[2] != "US" {
+		t.Errorf("eligible = %v", eligible)
+	}
+	if len(excluded) != 2 || excluded[0] != "AD" {
+		t.Errorf("excluded = %v", excluded)
+	}
+}
+
+func TestPaperEligibilityFraction(t *testing.T) {
+	// The paper: 150 of ~237 countries (63.3%) have lists of at least 10K.
+	lengths := map[string]int{}
+	for i := 0; i < 150; i++ {
+		lengths[fmt.Sprintf("A%03d", i)] = 10000 + i*1000
+	}
+	for i := 0; i < 87; i++ {
+		lengths[fmt.Sprintf("B%03d", i)] = 100 + i*100
+	}
+	eligible, excluded := Eligibility(lengths, 10000)
+	if len(eligible) != 150 || len(excluded) != 87 {
+		t.Errorf("eligible %d excluded %d", len(eligible), len(excluded))
+	}
+	frac := float64(len(eligible)) / float64(len(lengths))
+	if frac < 0.62 || frac > 0.65 {
+		t.Errorf("eligibility fraction = %v, paper 0.633", frac)
+	}
+}

@@ -1,0 +1,267 @@
+// Package dataset defines the enriched-toplist record model the measurement
+// pipeline produces and every analysis consumes, mirroring the paper's data
+// release: one row per (country, website) with the hosting, DNS, CA, and
+// TLD dependencies annotated.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/webdep/webdep/internal/core"
+	"github.com/webdep/webdep/internal/countries"
+)
+
+// Website is one enriched toplist row. String fields are empty when the
+// corresponding measurement failed (e.g. no TLS handshake).
+type Website struct {
+	Domain  string
+	Country string // CrUX list this site appears on
+	Rank    int    // 1-based position in the list
+
+	// Hosting layer: the AS organization serving the root page, per the
+	// paper's "last leg" definition.
+	HostProvider        string
+	HostProviderCountry string // provider H.Q. country
+	HostIP              string
+	HostIPContinent     string // geolocated serving continent
+	HostAnycast         bool
+
+	// DNS layer: the AS organization of the authoritative nameserver.
+	DNSProvider        string
+	DNSProviderCountry string
+	NSIP               string
+	NSIPContinent      string
+	NSAnycast          bool
+
+	// CA layer: CCADB owner of the CA that issued the leaf certificate.
+	CAOwner        string
+	CAOwnerCountry string
+
+	// TLD layer.
+	TLD string
+
+	// Language of the site content (ISO 639-1), used for the Section 5.3.3
+	// case studies.
+	Language string
+}
+
+// ProviderOf returns the provider label the given layer depends on, and the
+// provider's home country. For the TLD layer the "provider" is the TLD
+// string itself and the home country is the ccTLD's country (or "" for
+// gTLDs); callers wanting TLD-country semantics should consult tldinfo.
+func (w *Website) ProviderOf(layer countries.Layer) (provider, country string) {
+	switch layer {
+	case countries.Hosting:
+		return w.HostProvider, w.HostProviderCountry
+	case countries.DNS:
+		return w.DNSProvider, w.DNSProviderCountry
+	case countries.CA:
+		return w.CAOwner, w.CAOwnerCountry
+	case countries.TLD:
+		return w.TLD, ""
+	default:
+		return "", ""
+	}
+}
+
+// CountryList is the enriched toplist for one country in one measurement
+// epoch.
+type CountryList struct {
+	Country string
+	Epoch   string // e.g. "2023-05"
+	Sites   []Website
+}
+
+// Domains returns the domains on the list in rank order.
+func (c *CountryList) Domains() []string {
+	out := make([]string, len(c.Sites))
+	for i := range c.Sites {
+		out[i] = c.Sites[i].Domain
+	}
+	return out
+}
+
+// Distribution builds the provider distribution for the requested layer.
+// Sites with an empty provider (failed measurement) are skipped, mirroring
+// the paper's handling of unreachable sites.
+func (c *CountryList) Distribution(layer countries.Layer) *core.Distribution {
+	d := core.NewDistribution()
+	for i := range c.Sites {
+		p, _ := c.Sites[i].ProviderOf(layer)
+		if p != "" {
+			d.Observe(p)
+		}
+	}
+	return d
+}
+
+// Insularity computes the layer's insularity for the country: the fraction
+// of measured sites whose provider is based in the same country. The TLD
+// layer is intentionally not supported here (TLD insularity needs ccTLD
+// semantics; see the tldinfo package) and returns a zero tally.
+func (c *CountryList) Insularity(layer countries.Layer) core.Insularity {
+	var ins core.Insularity
+	if layer == countries.TLD {
+		return ins
+	}
+	for i := range c.Sites {
+		p, pc := c.Sites[i].ProviderOf(layer)
+		if p == "" {
+			continue
+		}
+		ins.Observe(c.Country, pc)
+	}
+	return ins
+}
+
+// CrossDependence tallies which countries this country's sites depend on at
+// the given layer (provider home countries).
+func (c *CountryList) CrossDependence(layer countries.Layer) *core.CrossDependence {
+	cd := core.NewCrossDependence()
+	for i := range c.Sites {
+		p, pc := c.Sites[i].ProviderOf(layer)
+		if p == "" || pc == "" {
+			continue
+		}
+		cd.Observe(pc)
+	}
+	return cd
+}
+
+// Corpus is a complete measurement: every country's enriched toplist for
+// one epoch.
+type Corpus struct {
+	Epoch string
+	Lists map[string]*CountryList
+}
+
+// NewCorpus returns an empty corpus for the epoch.
+func NewCorpus(epoch string) *Corpus {
+	return &Corpus{Epoch: epoch, Lists: make(map[string]*CountryList)}
+}
+
+// Add inserts (or replaces) a country list.
+func (c *Corpus) Add(list *CountryList) { c.Lists[list.Country] = list }
+
+// Get returns the list for a country, or nil.
+func (c *Corpus) Get(country string) *CountryList { return c.Lists[country] }
+
+// Countries returns the corpus's country codes in sorted order.
+func (c *Corpus) Countries() []string {
+	out := make([]string, 0, len(c.Lists))
+	for cc := range c.Lists {
+		out = append(out, cc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalSites returns the number of website rows across all lists.
+func (c *Corpus) TotalSites() int {
+	var n int
+	for _, l := range c.Lists {
+		n += len(l.Sites)
+	}
+	return n
+}
+
+// Scores computes the centralization score per country for one layer.
+func (c *Corpus) Scores(layer countries.Layer) map[string]float64 {
+	out := make(map[string]float64, len(c.Lists))
+	for cc, l := range c.Lists {
+		out[cc] = l.Distribution(layer).Score()
+	}
+	return out
+}
+
+// Insularities computes the insularity fraction per country for one layer.
+func (c *Corpus) Insularities(layer countries.Layer) map[string]float64 {
+	out := make(map[string]float64, len(c.Lists))
+	for cc, l := range c.Lists {
+		out[cc] = l.Insularity(layer).Fraction()
+	}
+	return out
+}
+
+// GlobalDistribution aggregates every country list into a single provider
+// distribution for the layer — the "Global Top 10k"-style marker in the
+// paper's Figure 12 (each country's list contributes its sites).
+func (c *Corpus) GlobalDistribution(layer countries.Layer) *core.Distribution {
+	d := core.NewDistribution()
+	for _, l := range c.Lists {
+		for i := range l.Sites {
+			p, _ := l.Sites[i].ProviderOf(layer)
+			if p != "" {
+				d.Observe(p)
+			}
+		}
+	}
+	return d
+}
+
+// UsageMatrix returns, for one layer, each provider's usage percentage per
+// country: provider → country → percent of that country's measured sites.
+func (c *Corpus) UsageMatrix(layer countries.Layer) map[string]map[string]float64 {
+	matrix := make(map[string]map[string]float64)
+	for cc, l := range c.Lists {
+		dist := l.Distribution(layer)
+		total := dist.Total()
+		if total == 0 {
+			continue
+		}
+		for _, ps := range dist.Ranked() {
+			m := matrix[ps.Provider]
+			if m == nil {
+				m = make(map[string]float64)
+				matrix[ps.Provider] = m
+			}
+			m[cc] = 100 * ps.Count / total
+		}
+	}
+	return matrix
+}
+
+// UsageCurves converts a usage matrix into a per-provider usage curve over
+// the corpus's full country set (countries where a provider is absent
+// contribute zero, as in the paper's 150-value curves).
+func (c *Corpus) UsageCurves(layer countries.Layer) map[string]core.UsageCurve {
+	matrix := c.UsageMatrix(layer)
+	ccs := c.Countries()
+	out := make(map[string]core.UsageCurve, len(matrix))
+	for provider, byCountry := range matrix {
+		vals := make([]float64, len(ccs))
+		for i, cc := range ccs {
+			vals[i] = byCountry[cc]
+		}
+		out[provider] = core.NewUsageCurve(vals)
+	}
+	return out
+}
+
+// Validate performs structural checks a data release should pass: known
+// country codes, nonempty domains, ranks within bounds. It returns the
+// first problem found.
+func (c *Corpus) Validate() error {
+	for cc, l := range c.Lists {
+		if l.Country != cc {
+			return fmt.Errorf("dataset: list keyed %q has country %q", cc, l.Country)
+		}
+		if _, ok := countries.ByCode(cc); !ok {
+			return fmt.Errorf("dataset: unknown country %q", cc)
+		}
+		for i := range l.Sites {
+			s := &l.Sites[i]
+			if s.Domain == "" {
+				return fmt.Errorf("dataset: %s row %d has empty domain", cc, i)
+			}
+			if s.Country != cc {
+				return fmt.Errorf("dataset: %s row %d has country %q", cc, i, s.Country)
+			}
+			if s.Rank < 1 || s.Rank > len(l.Sites) {
+				return fmt.Errorf("dataset: %s row %d has rank %d", cc, i, s.Rank)
+			}
+		}
+	}
+	return nil
+}

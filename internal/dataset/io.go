@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// csvHeader is the column layout of the released per-country CSV files.
+var csvHeader = []string{
+	"domain", "country", "rank",
+	"host_provider", "host_provider_country", "host_ip", "host_ip_continent", "host_anycast",
+	"dns_provider", "dns_provider_country", "ns_ip", "ns_ip_continent", "ns_anycast",
+	"ca_owner", "ca_owner_country",
+	"tld", "language",
+}
+
+// WriteCSV serializes a country list in the release format.
+func WriteCSV(w io.Writer, list *CountryList) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i := range list.Sites {
+		s := &list.Sites[i]
+		row := []string{
+			s.Domain, s.Country, strconv.Itoa(s.Rank),
+			s.HostProvider, s.HostProviderCountry, s.HostIP, s.HostIPContinent, strconv.FormatBool(s.HostAnycast),
+			s.DNSProvider, s.DNSProviderCountry, s.NSIP, s.NSIPContinent, strconv.FormatBool(s.NSAnycast),
+			s.CAOwner, s.CAOwnerCountry,
+			s.TLD, s.Language,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a country list previously written by WriteCSV. The epoch
+// is not part of the file format and must be supplied by the caller.
+func ReadCSV(r io.Reader, epoch string) (*CountryList, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	for i, want := range csvHeader {
+		if header[i] != want {
+			return nil, fmt.Errorf("dataset: header column %d is %q, want %q", i, header[i], want)
+		}
+	}
+	list := &CountryList{Epoch: epoch}
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		rank, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad rank %q", line, row[2])
+		}
+		hostAnycast, err := strconv.ParseBool(row[7])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad host_anycast %q", line, row[7])
+		}
+		nsAnycast, err := strconv.ParseBool(row[12])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad ns_anycast %q", line, row[12])
+		}
+		site := Website{
+			Domain: row[0], Country: row[1], Rank: rank,
+			HostProvider: row[3], HostProviderCountry: row[4], HostIP: row[5],
+			HostIPContinent: row[6], HostAnycast: hostAnycast,
+			DNSProvider: row[8], DNSProviderCountry: row[9], NSIP: row[10],
+			NSIPContinent: row[11], NSAnycast: nsAnycast,
+			CAOwner: row[13], CAOwnerCountry: row[14],
+			TLD: row[15], Language: row[16],
+		}
+		if list.Country == "" {
+			list.Country = site.Country
+		} else if site.Country != list.Country {
+			return nil, fmt.Errorf("dataset: line %d: mixed countries %q and %q", line, site.Country, list.Country)
+		}
+		list.Sites = append(list.Sites, site)
+	}
+	return list, nil
+}

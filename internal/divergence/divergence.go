@@ -1,0 +1,151 @@
+// Package divergence implements the f-divergence family the paper considers
+// and rejects for measuring centralization: Kullback–Leibler divergence,
+// Jensen–Shannon divergence, Hellinger distance, and total variation
+// distance.
+//
+// Section 3.1 argues these are unsuitable because an f-divergence between
+// two fully disjoint distributions is constant (saturated), so it cannot
+// discriminate between a mildly and a wildly concentrated observed
+// distribution when compared against the fully decentralized reference. The
+// toolkit keeps them as baselines so the argument can be reproduced
+// empirically (experiment X5 in DESIGN.md).
+package divergence
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch is returned when the two distributions have different
+// support sizes.
+var ErrLengthMismatch = errors.New("divergence: distributions differ in length")
+
+// ErrNotDistribution is returned when an input does not sum to 1 (within
+// tolerance) or has negative mass.
+var ErrNotDistribution = errors.New("divergence: input is not a probability distribution")
+
+const sumTolerance = 1e-6
+
+func validate(p, q []float64) error {
+	if len(p) != len(q) {
+		return ErrLengthMismatch
+	}
+	for _, dist := range [][]float64{p, q} {
+		var sum float64
+		for _, v := range dist {
+			if v < 0 {
+				return ErrNotDistribution
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > sumTolerance {
+			return ErrNotDistribution
+		}
+	}
+	return nil
+}
+
+// Normalize converts nonnegative counts into a probability distribution. It
+// returns nil for an empty or all-zero input.
+func Normalize(counts []float64) []float64 {
+	var sum float64
+	for _, c := range counts {
+		if c > 0 {
+			sum += c
+		}
+	}
+	if sum == 0 {
+		return nil
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		if c > 0 {
+			out[i] = c / sum
+		}
+	}
+	return out
+}
+
+// KL returns the Kullback–Leibler divergence D(p‖q) in nats. It is +Inf
+// when p has mass where q does not — precisely the failure mode that makes
+// it unusable against a disjoint decentralized reference.
+func KL(p, q []float64) (float64, error) {
+	if err := validate(p, q); err != nil {
+		return 0, err
+	}
+	var d float64
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if q[i] == 0 {
+			return math.Inf(1), nil
+		}
+		d += p[i] * math.Log(p[i]/q[i])
+	}
+	return d, nil
+}
+
+// JensenShannon returns the Jensen–Shannon divergence between p and q in
+// nats. It is symmetric and bounded by ln 2, which it attains for any pair
+// of fully disjoint distributions — the saturation the paper objects to.
+func JensenShannon(p, q []float64) (float64, error) {
+	if err := validate(p, q); err != nil {
+		return 0, err
+	}
+	var d float64
+	for i := range p {
+		m := (p[i] + q[i]) / 2
+		if p[i] > 0 {
+			d += 0.5 * p[i] * math.Log(p[i]/m)
+		}
+		if q[i] > 0 {
+			d += 0.5 * q[i] * math.Log(q[i]/m)
+		}
+	}
+	return d, nil
+}
+
+// Hellinger returns the Hellinger distance H(p, q) ∈ [0, 1]. It equals 1
+// exactly when p and q are disjoint.
+func Hellinger(p, q []float64) (float64, error) {
+	if err := validate(p, q); err != nil {
+		return 0, err
+	}
+	var bc float64 // Bhattacharyya coefficient
+	for i := range p {
+		bc += math.Sqrt(p[i] * q[i])
+	}
+	if bc > 1 {
+		bc = 1
+	}
+	return math.Sqrt(1 - bc), nil
+}
+
+// TotalVariation returns the total variation distance ½·Σ|p_i − q_i|
+// ∈ [0, 1]. It equals 1 exactly when p and q are disjoint.
+func TotalVariation(p, q []float64) (float64, error) {
+	if err := validate(p, q); err != nil {
+		return 0, err
+	}
+	var d float64
+	for i := range p {
+		d += math.Abs(p[i] - q[i])
+	}
+	return d / 2, nil
+}
+
+// DisjointSupport embeds two count vectors on a shared support with no
+// overlap: the observed counts occupy the first len(observed) slots and the
+// reference counts the following len(reference) slots. This models the
+// paper's comparison setting, where the observed provider distribution and
+// the hypothetical one-provider-per-website reference share no providers.
+func DisjointSupport(observed, reference []float64) (p, q []float64) {
+	n := len(observed) + len(reference)
+	p = make([]float64, n)
+	q = make([]float64, n)
+	copy(p, Normalize(observed))
+	qn := Normalize(reference)
+	copy(q[len(observed):], qn)
+	return p, q
+}

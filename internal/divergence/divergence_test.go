@@ -1,0 +1,212 @@
+package divergence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/webdep/webdep/internal/emd"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func uniform(n int) []float64 {
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	return p
+}
+
+func randomDist(rng *rand.Rand, n int) []float64 {
+	counts := make([]float64, n)
+	for i := range counts {
+		counts[i] = rng.Float64() + 1e-6
+	}
+	return Normalize(counts)
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := KL([]float64{1}, []float64{0.5, 0.5}); err != ErrLengthMismatch {
+		t.Errorf("want ErrLengthMismatch, got %v", err)
+	}
+	if _, err := KL([]float64{0.7, 0.7}, []float64{0.5, 0.5}); err != ErrNotDistribution {
+		t.Errorf("sum>1: want ErrNotDistribution, got %v", err)
+	}
+	if _, err := KL([]float64{-0.5, 1.5}, []float64{0.5, 0.5}); err != ErrNotDistribution {
+		t.Errorf("negative mass: want ErrNotDistribution, got %v", err)
+	}
+}
+
+func TestKLSelfIsZero(t *testing.T) {
+	p := uniform(4)
+	d, err := KL(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0, 1e-12) {
+		t.Errorf("KL(p,p) = %v, want 0", d)
+	}
+}
+
+func TestKLInfOnMissingSupport(t *testing.T) {
+	p := []float64{0.5, 0.5, 0}
+	q := []float64{0, 0.5, 0.5}
+	d, err := KL(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d, 1) {
+		t.Errorf("KL on disjoint support = %v, want +Inf", d)
+	}
+}
+
+func TestKLKnownValue(t *testing.T) {
+	p := []float64{0.75, 0.25}
+	q := []float64{0.5, 0.5}
+	d, err := KL(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.75*math.Log(1.5) + 0.25*math.Log(0.5)
+	if !almostEqual(d, want, 1e-12) {
+		t.Errorf("KL = %v, want %v", d, want)
+	}
+}
+
+func TestJensenShannonSymmetricBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		p := randomDist(rng, n)
+		q := randomDist(rng, n)
+		a, errA := JensenShannon(p, q)
+		b, errB := JensenShannon(q, p)
+		if errA != nil || errB != nil {
+			return false
+		}
+		return almostEqual(a, b, 1e-12) && a >= -1e-12 && a <= math.Ln2+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHellingerBounds(t *testing.T) {
+	p := uniform(3)
+	d, err := Hellinger(p, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0, 1e-9) {
+		t.Errorf("Hellinger(p,p) = %v", d)
+	}
+	disjointP := []float64{1, 0}
+	disjointQ := []float64{0, 1}
+	d, err = Hellinger(disjointP, disjointQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 1, 1e-12) {
+		t.Errorf("Hellinger disjoint = %v, want 1", d)
+	}
+}
+
+func TestTotalVariationKnown(t *testing.T) {
+	d, err := TotalVariation([]float64{0.8, 0.2}, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(d, 0.3, 1e-12) {
+		t.Errorf("TV = %v, want 0.3", d)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	if Normalize(nil) != nil {
+		t.Error("Normalize(nil) should be nil")
+	}
+	if Normalize([]float64{0, 0}) != nil {
+		t.Error("Normalize(zeros) should be nil")
+	}
+	p := Normalize([]float64{2, 6})
+	if !almostEqual(p[0], 0.25, 1e-12) || !almostEqual(p[1], 0.75, 1e-12) {
+		t.Errorf("Normalize = %v", p)
+	}
+	// Negative entries are dropped rather than producing negative mass.
+	p = Normalize([]float64{-3, 1})
+	if p[0] != 0 || p[1] != 1 {
+		t.Errorf("Normalize with negatives = %v", p)
+	}
+}
+
+func TestDisjointSupportShape(t *testing.T) {
+	p, q := DisjointSupport([]float64{3, 1}, []float64{1, 1, 1, 1})
+	if len(p) != 6 || len(q) != 6 {
+		t.Fatalf("support sizes: %d %d", len(p), len(q))
+	}
+	// p lives entirely in the first two slots, q in the last four.
+	if p[0] != 0.75 || p[1] != 0.25 || p[2] != 0 {
+		t.Errorf("p = %v", p)
+	}
+	if q[0] != 0 || q[2] != 0.25 || q[5] != 0.25 {
+		t.Errorf("q = %v", q)
+	}
+}
+
+// TestPaperSection31SaturationArgument reproduces the paper's core claim:
+// every f-divergence is constant across fully disjoint comparisons, so it
+// cannot rank observed distributions against the decentralized reference,
+// while EMD (the centralization score) discriminates them cleanly.
+func TestPaperSection31SaturationArgument(t *testing.T) {
+	mild := []float64{3, 3, 2, 2}                        // fairly flat
+	wild := []float64{9, 1}                              // heavily concentrated
+	reference := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1} // C=10 decentralized
+
+	type result struct{ mild, wild float64 }
+	results := map[string]result{}
+
+	for name, fn := range map[string]func(p, q []float64) (float64, error){
+		"js":        JensenShannon,
+		"hellinger": Hellinger,
+		"tv":        TotalVariation,
+	} {
+		pm, qm := DisjointSupport(mild, reference)
+		dm, err := fn(pm, qm)
+		if err != nil {
+			t.Fatalf("%s mild: %v", name, err)
+		}
+		pw, qw := DisjointSupport(wild, reference)
+		dw, err := fn(pw, qw)
+		if err != nil {
+			t.Fatalf("%s wild: %v", name, err)
+		}
+		results[name] = result{dm, dw}
+	}
+
+	// Saturation: each f-divergence gives the same (maximal) value for both.
+	if r := results["js"]; !almostEqual(r.mild, math.Ln2, 1e-9) || !almostEqual(r.wild, math.Ln2, 1e-9) {
+		t.Errorf("JS should saturate at ln2 on disjoint supports: %+v", r)
+	}
+	if r := results["hellinger"]; !almostEqual(r.mild, 1, 1e-9) || !almostEqual(r.wild, 1, 1e-9) {
+		t.Errorf("Hellinger should saturate at 1: %+v", r)
+	}
+	if r := results["tv"]; !almostEqual(r.mild, 1, 1e-9) || !almostEqual(r.wild, 1, 1e-9) {
+		t.Errorf("TV should saturate at 1: %+v", r)
+	}
+
+	// KL is infinite for both — also useless.
+	pm, qm := DisjointSupport(mild, reference)
+	if d, _ := KL(pm, qm); !math.IsInf(d, 1) {
+		t.Errorf("KL mild = %v, want +Inf", d)
+	}
+
+	// EMD, in contrast, discriminates: the wild distribution is farther
+	// from decentralization than the mild one.
+	sMild := emd.Centralization(mild)
+	sWild := emd.Centralization(wild)
+	if sMild >= sWild {
+		t.Errorf("EMD failed to discriminate: mild %v >= wild %v", sMild, sWild)
+	}
+}

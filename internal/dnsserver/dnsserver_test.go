@@ -1,0 +1,376 @@
+package dnsserver
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/webdep/webdep/internal/dnswire"
+)
+
+func mustAdd(t *testing.T, z *Zone, r dnswire.Record) {
+	t.Helper()
+	if err := z.Add(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testZone(t *testing.T) *Zone {
+	t.Helper()
+	z := NewZone("example.test")
+	mustAdd(t, z, dnswire.Record{Name: "example.test", Type: dnswire.TypeSOA, TTL: 3600, SOA: &dnswire.SOAData{
+		MName: "ns1.example.test", RName: "admin.example.test", Serial: 1,
+	}})
+	mustAdd(t, z, dnswire.Record{Name: "www.example.test", Type: dnswire.TypeA, TTL: 60,
+		Addr: netip.MustParseAddr("192.0.2.10")})
+	mustAdd(t, z, dnswire.Record{Name: "example.test", Type: dnswire.TypeNS, TTL: 60,
+		Target: "ns1.example.test"})
+	mustAdd(t, z, dnswire.Record{Name: "alias.example.test", Type: dnswire.TypeCNAME, TTL: 60,
+		Target: "www.example.test"})
+	mustAdd(t, z, dnswire.Record{Name: "txt.example.test", Type: dnswire.TypeTXT, TTL: 60,
+		Text: "hello"})
+	return z
+}
+
+func TestZoneRejectsForeignNames(t *testing.T) {
+	z := NewZone("example.test")
+	err := z.Add(dnswire.Record{Name: "other.invalid", Type: dnswire.TypeA,
+		Addr: netip.MustParseAddr("192.0.2.1")})
+	if err == nil {
+		t.Error("out-of-zone record accepted")
+	}
+}
+
+func TestZoneLookupDirect(t *testing.T) {
+	z := testZone(t)
+	rs, found := z.Lookup("www.example.test", dnswire.TypeA)
+	if !found || len(rs) != 1 || rs[0].Addr != netip.MustParseAddr("192.0.2.10") {
+		t.Errorf("lookup = %+v %v", rs, found)
+	}
+	// Case-insensitive.
+	if _, found := z.Lookup("WWW.EXAMPLE.TEST", dnswire.TypeA); !found {
+		t.Error("case-sensitive lookup")
+	}
+}
+
+func TestZoneLookupCNAMEChase(t *testing.T) {
+	z := testZone(t)
+	rs, found := z.Lookup("alias.example.test", dnswire.TypeA)
+	if !found || len(rs) != 2 {
+		t.Fatalf("lookup = %+v %v", rs, found)
+	}
+	if rs[0].Type != dnswire.TypeCNAME || rs[1].Type != dnswire.TypeA {
+		t.Errorf("chain order wrong: %+v", rs)
+	}
+}
+
+func TestZoneCNAMELoopBounded(t *testing.T) {
+	z := NewZone("loop.test")
+	mustAdd(t, z, dnswire.Record{Name: "a.loop.test", Type: dnswire.TypeCNAME, Target: "b.loop.test"})
+	mustAdd(t, z, dnswire.Record{Name: "b.loop.test", Type: dnswire.TypeCNAME, Target: "a.loop.test"})
+	done := make(chan struct{})
+	go func() {
+		z.Lookup("a.loop.test", dnswire.TypeA)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("CNAME loop not bounded")
+	}
+}
+
+func TestZoneNodataVsNXDomain(t *testing.T) {
+	z := testZone(t)
+	// Name exists but not this type: NODATA (found=true, no answers).
+	rs, found := z.Lookup("www.example.test", dnswire.TypeTXT)
+	if !found || len(rs) != 0 {
+		t.Errorf("NODATA: %+v %v", rs, found)
+	}
+	// Name does not exist: NXDOMAIN.
+	if _, found := z.Lookup("missing.example.test", dnswire.TypeA); found {
+		t.Error("missing name reported found")
+	}
+}
+
+func startServer(t *testing.T, zones ...*Zone) (*Server, string) {
+	t.Helper()
+	s := NewServer(nil)
+	for _, z := range zones {
+		s.AddZone(z)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr.String()
+}
+
+func udpQuery(t *testing.T, addr string, name string, qtype uint16) *dnswire.Message {
+	t.Helper()
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q, err := dnswire.NewQuery(0x4242, name, qtype).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(q); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerAnswersOverUDP(t *testing.T) {
+	s, addr := startServer(t, testZone(t))
+	resp := udpQuery(t, addr, "www.example.test", dnswire.TypeA)
+	if !resp.Header.QR || !resp.Header.AA || resp.Header.RCode != dnswire.RCodeNoError {
+		t.Errorf("header = %+v", resp.Header)
+	}
+	if len(resp.Answers) != 1 || resp.Answers[0].Addr != netip.MustParseAddr("192.0.2.10") {
+		t.Errorf("answers = %+v", resp.Answers)
+	}
+	if s.Queries() == 0 {
+		t.Error("query counter not incremented")
+	}
+}
+
+func TestServerNXDomainCarriesSOA(t *testing.T) {
+	_, addr := startServer(t, testZone(t))
+	resp := udpQuery(t, addr, "nope.example.test", dnswire.TypeA)
+	if resp.Header.RCode != dnswire.RCodeNXDomain {
+		t.Errorf("rcode = %d", resp.Header.RCode)
+	}
+	if len(resp.Authorities) != 1 || resp.Authorities[0].Type != dnswire.TypeSOA {
+		t.Errorf("authorities = %+v", resp.Authorities)
+	}
+}
+
+func TestServerRefusesForeignZone(t *testing.T) {
+	_, addr := startServer(t, testZone(t))
+	resp := udpQuery(t, addr, "outside.invalid", dnswire.TypeA)
+	if resp.Header.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %d, want REFUSED", resp.Header.RCode)
+	}
+}
+
+func TestServerRefusesNonINClass(t *testing.T) {
+	_, addr := startServer(t, testZone(t))
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	m := dnswire.NewQuery(7, "www.example.test", dnswire.TypeA)
+	m.Questions[0].Class = 3 // CHAOS
+	q, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(q)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := dnswire.Unpack(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.RCode != dnswire.RCodeRefused {
+		t.Errorf("rcode = %d", resp.Header.RCode)
+	}
+}
+
+func TestServerTruncatesLargeUDPAndServesTCP(t *testing.T) {
+	z := NewZone("big.test")
+	for i := 0; i < 60; i++ {
+		mustAdd(t, z, dnswire.Record{
+			Name: "many.big.test", Type: dnswire.TypeA, TTL: 1,
+			Addr: netip.AddrFrom4([4]byte{10, 0, byte(i / 256), byte(i % 256)}),
+		})
+	}
+	_, addr := startServer(t, z)
+
+	resp := udpQuery(t, addr, "many.big.test", dnswire.TypeA)
+	if !resp.Header.TC {
+		t.Fatal("large response not truncated over UDP")
+	}
+	if len(resp.Answers) != 0 {
+		t.Errorf("truncated response should carry no answers, has %d", len(resp.Answers))
+	}
+
+	// Same query over TCP gets the full answer set.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	q, err := dnswire.NewQuery(9, "many.big.test", dnswire.TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	framed := append([]byte{byte(len(q) >> 8), byte(len(q))}, q...)
+	if _, err := conn.Write(framed); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	head := make([]byte, 2)
+	if _, err := readFull(conn, head); err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, int(head[0])<<8|int(head[1]))
+	if _, err := readFull(conn, body); err != nil {
+		t.Fatal(err)
+	}
+	tcpResp, err := dnswire.Unpack(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcpResp.Header.TC || len(tcpResp.Answers) != 60 {
+		t.Errorf("tcp answers = %d, TC = %v", len(tcpResp.Answers), tcpResp.Header.TC)
+	}
+}
+
+func TestServerIgnoresGarbageAndResponses(t *testing.T) {
+	s, addr := startServer(t, testZone(t))
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Garbage datagram.
+	conn.Write([]byte{1, 2, 3})
+	// A response packet (QR set) must not be answered.
+	m := dnswire.NewQuery(5, "www.example.test", dnswire.TypeA)
+	m.Header.QR = true
+	pkt, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write(pkt)
+	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	buf := make([]byte, 512)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("server answered garbage or a response packet")
+	}
+	if s.Queries() != 0 {
+		t.Error("garbage counted as query")
+	}
+}
+
+func TestServerMostSpecificZoneWins(t *testing.T) {
+	parent := NewZone("test")
+	mustAdd(t, parent, dnswire.Record{Name: "www.sub.test", Type: dnswire.TypeA,
+		Addr: netip.MustParseAddr("192.0.2.1")})
+	child := NewZone("sub.test")
+	mustAdd(t, child, dnswire.Record{Name: "www.sub.test", Type: dnswire.TypeA,
+		Addr: netip.MustParseAddr("192.0.2.2")})
+	_, addr := startServer(t, parent, child)
+	resp := udpQuery(t, addr, "www.sub.test", dnswire.TypeA)
+	if len(resp.Answers) != 1 || resp.Answers[0].Addr != netip.MustParseAddr("192.0.2.2") {
+		t.Errorf("child zone not preferred: %+v", resp.Answers)
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	s, _ := startServer(t, testZone(t))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneSize(t *testing.T) {
+	z := testZone(t)
+	if z.Size() != 5 { // SOA, A, NS, CNAME, TXT record sets
+		t.Errorf("Size = %d", z.Size())
+	}
+}
+
+func readFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestCanonical(t *testing.T) {
+	cases := map[string]string{
+		"Example.COM.": "example.com",
+		" a.b ":        "a.b",
+		".":            "",
+	}
+	for in, want := range cases {
+		if got := canonical(in); got != want {
+			t.Errorf("canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestZoneApexSuffixBoundary(t *testing.T) {
+	// "notexample.test" must not fall inside zone "example.test".
+	z := NewZone("example.test")
+	if err := z.Add(dnswire.Record{Name: "notexample.test", Type: dnswire.TypeA,
+		Addr: netip.MustParseAddr("192.0.2.1")}); err == nil {
+		t.Error("suffix boundary not enforced")
+	}
+}
+
+func TestGlueRecordsInNSResponse(t *testing.T) {
+	// Zone with NS whose target lives in a sibling zone on the same server.
+	sites := NewZone("glue.test")
+	mustAdd(t, sites, dnswire.Record{Name: "www.glue.test", Type: dnswire.TypeA,
+		Addr: netip.MustParseAddr("192.0.2.1")})
+	mustAdd(t, sites, dnswire.Record{Name: "www.glue.test", Type: dnswire.TypeNS,
+		Target: "ns1.provider.nsinfra"})
+	infra := NewZone("nsinfra")
+	mustAdd(t, infra, dnswire.Record{Name: "ns1.provider.nsinfra", Type: dnswire.TypeA,
+		Addr: netip.MustParseAddr("198.51.100.53")})
+	_, addr := startServer(t, sites, infra)
+
+	resp := udpQuery(t, addr, "www.glue.test", dnswire.TypeNS)
+	if len(resp.Answers) != 1 || resp.Answers[0].Target != "ns1.provider.nsinfra" {
+		t.Fatalf("answers = %+v", resp.Answers)
+	}
+	if len(resp.Additionals) != 1 {
+		t.Fatalf("additionals = %+v", resp.Additionals)
+	}
+	glue := resp.Additionals[0]
+	if glue.Name != "ns1.provider.nsinfra" || glue.Addr != netip.MustParseAddr("198.51.100.53") {
+		t.Errorf("glue = %+v", glue)
+	}
+}
+
+func TestNoGlueForForeignTargets(t *testing.T) {
+	sites := NewZone("noglue.test")
+	mustAdd(t, sites, dnswire.Record{Name: "www.noglue.test", Type: dnswire.TypeNS,
+		Target: "ns1.elsewhere.invalid"})
+	_, addr := startServer(t, sites)
+	resp := udpQuery(t, addr, "www.noglue.test", dnswire.TypeNS)
+	if len(resp.Additionals) != 0 {
+		t.Errorf("unexpected glue: %+v", resp.Additionals)
+	}
+}

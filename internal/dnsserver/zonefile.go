@@ -1,0 +1,265 @@
+package dnsserver
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/webdep/webdep/internal/dnswire"
+)
+
+// This file implements a pragmatic subset of the RFC 1035 master file
+// format, enough to load and dump the toolkit's zones:
+//
+//	$ORIGIN example.test.
+//	$TTL 300
+//	@       3600 IN SOA ns1.example.test. admin.example.test. 1 7200 900 1209600 300
+//	@            IN NS  ns1.example.test.
+//	www          IN A   192.0.2.10
+//	alias        IN CNAME www
+//	txt          IN TXT "hello world"
+//
+// Supported: $ORIGIN and $TTL directives, @ for the origin, relative and
+// absolute names, optional TTL, class IN, record types A, AAAA, NS, CNAME,
+// TXT (single quoted string), and SOA (single line). Unsupported master
+// file features (parenthesized continuations, $INCLUDE, \ escapes) are
+// rejected with line-numbered errors.
+
+// ParseZone reads a master file into a Zone. The origin may be supplied by
+// a $ORIGIN directive or by the defaultOrigin argument ("" means the file
+// must declare one).
+func ParseZone(r io.Reader, defaultOrigin string) (*Zone, error) {
+	origin := canonical(defaultOrigin)
+	var zone *Zone
+	defaultTTL := uint32(300)
+
+	ensureZone := func() error {
+		if zone != nil {
+			return nil
+		}
+		if origin == "" {
+			return fmt.Errorf("dnsserver: no $ORIGIN declared and no default origin given")
+		}
+		zone = NewZone(origin)
+		return nil
+	}
+
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimRight(line, " \t")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.ContainsAny(line, "()") {
+			return nil, fmt.Errorf("dnsserver: line %d: parenthesized records are not supported", lineNo)
+		}
+		fields := strings.Fields(line)
+
+		switch strings.ToUpper(fields[0]) {
+		case "$ORIGIN":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dnsserver: line %d: $ORIGIN wants one argument", lineNo)
+			}
+			if zone != nil {
+				return nil, fmt.Errorf("dnsserver: line %d: $ORIGIN after records is not supported", lineNo)
+			}
+			origin = canonical(fields[1])
+			continue
+		case "$TTL":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("dnsserver: line %d: $TTL wants one argument", lineNo)
+			}
+			ttl, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dnsserver: line %d: bad TTL %q", lineNo, fields[1])
+			}
+			defaultTTL = uint32(ttl)
+			continue
+		case "$INCLUDE":
+			return nil, fmt.Errorf("dnsserver: line %d: $INCLUDE is not supported", lineNo)
+		}
+
+		if err := ensureZone(); err != nil {
+			return nil, fmt.Errorf("dnsserver: line %d: %w", lineNo, err)
+		}
+		rec, err := parseRecordLine(fields, origin, defaultTTL)
+		if err != nil {
+			return nil, fmt.Errorf("dnsserver: line %d: %w", lineNo, err)
+		}
+		if err := zone.Add(rec); err != nil {
+			return nil, fmt.Errorf("dnsserver: line %d: %w", lineNo, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if zone == nil {
+		if err := ensureZone(); err != nil {
+			return nil, err
+		}
+	}
+	return zone, nil
+}
+
+func parseRecordLine(fields []string, origin string, defaultTTL uint32) (dnswire.Record, error) {
+	var rec dnswire.Record
+	if len(fields) < 3 {
+		return rec, fmt.Errorf("too few fields")
+	}
+	rec.Name = absoluteName(fields[0], origin)
+	rest := fields[1:]
+
+	// Optional TTL, optional class IN, then type.
+	rec.TTL = defaultTTL
+	if ttl, err := strconv.ParseUint(rest[0], 10, 32); err == nil {
+		rec.TTL = uint32(ttl)
+		rest = rest[1:]
+	}
+	if len(rest) > 0 && strings.EqualFold(rest[0], "IN") {
+		rest = rest[1:]
+	}
+	if len(rest) < 2 {
+		return rec, fmt.Errorf("missing type or rdata")
+	}
+	rec.Class = dnswire.ClassIN
+	typ := strings.ToUpper(rest[0])
+	rdata := rest[1:]
+
+	switch typ {
+	case "A":
+		addr, err := netip.ParseAddr(rdata[0])
+		if err != nil || !addr.Is4() {
+			return rec, fmt.Errorf("bad A rdata %q", rdata[0])
+		}
+		rec.Type = dnswire.TypeA
+		rec.Addr = addr
+	case "AAAA":
+		addr, err := netip.ParseAddr(rdata[0])
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return rec, fmt.Errorf("bad AAAA rdata %q", rdata[0])
+		}
+		rec.Type = dnswire.TypeAAAA
+		rec.Addr = addr
+	case "NS":
+		rec.Type = dnswire.TypeNS
+		rec.Target = absoluteName(rdata[0], origin)
+	case "CNAME":
+		rec.Type = dnswire.TypeCNAME
+		rec.Target = absoluteName(rdata[0], origin)
+	case "TXT":
+		text := strings.Join(rdata, " ")
+		if !strings.HasPrefix(text, `"`) || !strings.HasSuffix(text, `"`) || len(text) < 2 {
+			return rec, fmt.Errorf("TXT rdata must be one quoted string")
+		}
+		rec.Type = dnswire.TypeTXT
+		rec.Text = text[1 : len(text)-1]
+	case "SOA":
+		if len(rdata) != 7 {
+			return rec, fmt.Errorf("SOA wants mname rname serial refresh retry expire minimum")
+		}
+		soa := &dnswire.SOAData{
+			MName: absoluteName(rdata[0], origin),
+			RName: absoluteName(rdata[1], origin),
+		}
+		for i, dst := range []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum} {
+			v, err := strconv.ParseUint(rdata[2+i], 10, 32)
+			if err != nil {
+				return rec, fmt.Errorf("bad SOA field %q", rdata[2+i])
+			}
+			*dst = uint32(v)
+		}
+		rec.Type = dnswire.TypeSOA
+		rec.SOA = soa
+	default:
+		return rec, fmt.Errorf("unsupported record type %q", typ)
+	}
+	return rec, nil
+}
+
+// absoluteName resolves a master-file name against the origin: "@" is the
+// origin, names ending in "." are absolute, everything else is relative.
+func absoluteName(name, origin string) string {
+	if name == "@" {
+		return origin
+	}
+	if strings.HasSuffix(name, ".") {
+		return canonical(name)
+	}
+	if origin == "" {
+		return canonical(name)
+	}
+	return canonical(name) + "." + origin
+}
+
+// WriteZone dumps a zone in the master file subset ParseZone accepts,
+// deterministically ordered (SOA first, then by name and type).
+func WriteZone(w io.Writer, z *Zone) error {
+	z.mu.RLock()
+	defer z.mu.RUnlock()
+
+	if _, err := fmt.Fprintf(w, "$ORIGIN %s.\n", z.Origin); err != nil {
+		return err
+	}
+	type flat struct {
+		rec dnswire.Record
+	}
+	var recs []flat
+	for _, rs := range z.records {
+		for _, r := range rs {
+			recs = append(recs, flat{r})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i].rec, recs[j].rec
+		// SOA leads.
+		if (a.Type == dnswire.TypeSOA) != (b.Type == dnswire.TypeSOA) {
+			return a.Type == dnswire.TypeSOA
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return rdataString(a) < rdataString(b)
+	})
+	for _, f := range recs {
+		r := f.rec
+		if _, err := fmt.Fprintf(w, "%s. %d IN %s %s\n",
+			r.Name, r.TTL, dnswire.TypeName(r.Type), rdataString(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func rdataString(r dnswire.Record) string {
+	switch r.Type {
+	case dnswire.TypeA, dnswire.TypeAAAA:
+		return r.Addr.String()
+	case dnswire.TypeNS, dnswire.TypeCNAME:
+		return r.Target + "."
+	case dnswire.TypeTXT:
+		return `"` + r.Text + `"`
+	case dnswire.TypeSOA:
+		if r.SOA == nil {
+			return ""
+		}
+		return fmt.Sprintf("%s. %s. %d %d %d %d %d",
+			r.SOA.MName, r.SOA.RName, r.SOA.Serial, r.SOA.Refresh,
+			r.SOA.Retry, r.SOA.Expire, r.SOA.Minimum)
+	default:
+		return ""
+	}
+}

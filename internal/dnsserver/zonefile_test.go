@@ -1,0 +1,134 @@
+package dnsserver
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/webdep/webdep/internal/dnswire"
+)
+
+const sampleZoneFile = `; toolkit test zone
+$ORIGIN example.test.
+$TTL 300
+@       3600 IN SOA ns1.example.test. admin.example.test. 1 7200 900 1209600 300
+@            IN NS  ns1.example.test.
+www          IN A   192.0.2.10
+v6      60   IN AAAA 2001:db8::10
+alias        IN CNAME www
+txt          IN TXT "hello world"
+ns1          IN A   198.51.100.53
+`
+
+func TestParseZone(t *testing.T) {
+	z, err := ParseZone(strings.NewReader(sampleZoneFile), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.Origin != "example.test" {
+		t.Fatalf("origin = %q", z.Origin)
+	}
+	if rs, ok := z.Lookup("www.example.test", dnswire.TypeA); !ok || len(rs) != 1 ||
+		rs[0].Addr != netip.MustParseAddr("192.0.2.10") || rs[0].TTL != 300 {
+		t.Errorf("www = %+v %v", rs, ok)
+	}
+	if rs, ok := z.Lookup("v6.example.test", dnswire.TypeAAAA); !ok || rs[0].TTL != 60 {
+		t.Errorf("v6 = %+v %v", rs, ok)
+	}
+	// Relative CNAME target resolves against the origin and chases.
+	if rs, ok := z.Lookup("alias.example.test", dnswire.TypeA); !ok || len(rs) != 2 {
+		t.Errorf("alias = %+v %v", rs, ok)
+	}
+	if rs, ok := z.Lookup("txt.example.test", dnswire.TypeTXT); !ok || rs[0].Text != "hello world" {
+		t.Errorf("txt = %+v %v", rs, ok)
+	}
+	soa := z.SOA()
+	if soa == nil || soa.SOA.Serial != 1 || soa.SOA.MName != "ns1.example.test" || soa.TTL != 3600 {
+		t.Errorf("soa = %+v", soa)
+	}
+}
+
+func TestParseZoneDefaultOrigin(t *testing.T) {
+	z, err := ParseZone(strings.NewReader("www IN A 192.0.2.1\n"), "fallback.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := z.Lookup("www.fallback.test", dnswire.TypeA); !ok {
+		t.Error("record not under default origin")
+	}
+}
+
+func TestParseZoneErrors(t *testing.T) {
+	cases := []string{
+		"www IN A 192.0.2.1",                            // no origin at all (defaultOrigin empty)
+		"$ORIGIN x.test.\nwww IN A not-an-ip",           // bad A
+		"$ORIGIN x.test.\nwww IN AAAA 1.2.3.4",          // v4 in AAAA
+		"$ORIGIN x.test.\nwww IN TXT unquoted",          // unquoted TXT
+		"$ORIGIN x.test.\nwww IN SOA a. b. 1 2 3",       // short SOA
+		"$ORIGIN x.test.\nwww IN MX 10 mail.x.test",     // unsupported type
+		"$ORIGIN x.test.\n@ IN SOA a. b. ( 1 2 3 4 5 )", // parens
+		"$TTL abc\n$ORIGIN x.test.",                     // bad TTL
+		"$INCLUDE other.zone",                           // include
+		"$ORIGIN x.test.\nwww IN",                       // short line
+	}
+	for _, in := range cases {
+		if _, err := ParseZone(strings.NewReader(in), ""); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestZoneRoundTrip(t *testing.T) {
+	z, err := ParseZone(strings.NewReader(sampleZoneFile), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteZone(&buf, z); err != nil {
+		t.Fatal(err)
+	}
+	z2, err := ParseZone(bytes.NewReader(buf.Bytes()), "")
+	if err != nil {
+		t.Fatalf("reparsing dump: %v\n%s", err, buf.String())
+	}
+	if z2.Origin != z.Origin || z2.Size() != z.Size() {
+		t.Fatalf("round trip lost records: %d vs %d", z2.Size(), z.Size())
+	}
+	for _, probe := range []struct {
+		name string
+		typ  uint16
+	}{
+		{"www.example.test", dnswire.TypeA},
+		{"v6.example.test", dnswire.TypeAAAA},
+		{"txt.example.test", dnswire.TypeTXT},
+		{"example.test", dnswire.TypeNS},
+		{"example.test", dnswire.TypeSOA},
+	} {
+		a, okA := z.Lookup(probe.name, probe.typ)
+		b, okB := z2.Lookup(probe.name, probe.typ)
+		if okA != okB || len(a) != len(b) {
+			t.Errorf("%s %s: %v/%d vs %v/%d", probe.name, dnswire.TypeName(probe.typ), okA, len(a), okB, len(b))
+		}
+	}
+	// Dump is deterministic.
+	var buf2 bytes.Buffer
+	if err := WriteZone(&buf2, z); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("WriteZone not deterministic")
+	}
+}
+
+func TestParsedZoneServes(t *testing.T) {
+	z, err := ParseZone(strings.NewReader(sampleZoneFile), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, z)
+	resp := udpQuery(t, addr, "www.example.test", dnswire.TypeA)
+	if len(resp.Answers) != 1 || resp.Answers[0].Addr != netip.MustParseAddr("192.0.2.10") {
+		t.Errorf("served answer = %+v", resp.Answers)
+	}
+}

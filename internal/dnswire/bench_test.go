@@ -1,0 +1,44 @@
+package dnswire
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func benchMessage() *Message {
+	return &Message{
+		Header:    Header{ID: 42, QR: true, AA: true},
+		Questions: []Question{{Name: "news-th-202305-0042.co.th", Type: TypeA, Class: ClassIN}},
+		Answers: []Record{
+			{Name: "news-th-202305-0042.co.th", Type: TypeCNAME, Class: ClassIN, TTL: 300, Target: "edge.cdn.example"},
+			{Name: "edge.cdn.example", Type: TypeA, Class: ClassIN, TTL: 60, Addr: netip.MustParseAddr("10.0.13.37")},
+		},
+		Authorities: []Record{
+			{Name: "co.th", Type: TypeNS, Class: ClassIN, TTL: 86400, Target: "ns1.registry.th"},
+		},
+	}
+}
+
+func BenchmarkPack(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Pack(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnpack(b *testing.B) {
+	data, err := benchMessage().Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unpack(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,528 @@
+// Package dnswire implements the subset of the DNS wire format (RFC 1035)
+// the measurement pipeline needs: message packing/unpacking with name
+// compression, and A, AAAA, NS, CNAME, TXT, and SOA resource records.
+//
+// The toolkit's resolver and authoritative server speak this format over
+// real UDP/TCP sockets, standing in for the ZDNS-based active measurements
+// in the paper.
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// Record types supported by the codec.
+const (
+	TypeA     uint16 = 1
+	TypeNS    uint16 = 2
+	TypeCNAME uint16 = 5
+	TypeSOA   uint16 = 6
+	TypeTXT   uint16 = 16
+	TypeAAAA  uint16 = 28
+)
+
+// ClassIN is the Internet class; the only class the toolkit uses.
+const ClassIN uint16 = 1
+
+// Response codes.
+const (
+	RCodeNoError  = 0
+	RCodeFormErr  = 1
+	RCodeServFail = 2
+	RCodeNXDomain = 3
+	RCodeNotImp   = 4
+	RCodeRefused  = 5
+)
+
+// Errors returned by the codec.
+var (
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	ErrNameTooLong      = errors.New("dnswire: name exceeds 255 octets")
+	ErrLabelTooLong     = errors.New("dnswire: label exceeds 63 octets")
+	ErrPointerLoop      = errors.New("dnswire: compression pointer loop")
+	ErrTrailingBytes    = errors.New("dnswire: trailing bytes after message")
+)
+
+// Header is the fixed 12-byte DNS message header, with flag bits broken out.
+type Header struct {
+	ID      uint16
+	QR      bool // response?
+	Opcode  uint8
+	AA      bool // authoritative answer
+	TC      bool // truncated
+	RD      bool // recursion desired
+	RA      bool // recursion available
+	RCode   uint8
+	QDCount uint16
+	ANCount uint16
+	NSCount uint16
+	ARCount uint16
+}
+
+// Question is a single query.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// Record is a resource record. Exactly one of the data fields is meaningful
+// depending on Type: Addr for A/AAAA, Target for NS/CNAME, Text for TXT,
+// SOA for SOA.
+type Record struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+
+	Addr   netip.Addr // A, AAAA
+	Target string     // NS, CNAME
+	Text   string     // TXT
+	SOA    *SOAData   // SOA
+}
+
+// SOAData carries the SOA RDATA fields.
+type SOAData struct {
+	MName   string
+	RName   string
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header      Header
+	Questions   []Question
+	Answers     []Record
+	Authorities []Record
+	Additionals []Record
+}
+
+// NewQuery builds a standard recursive query for one (name, type) pair.
+func NewQuery(id uint16, name string, qtype uint16) *Message {
+	return &Message{
+		Header:    Header{ID: id, RD: true, QDCount: 1},
+		Questions: []Question{{Name: name, Type: qtype, Class: ClassIN}},
+	}
+}
+
+// packer serializes a message with name compression.
+type packer struct {
+	buf      []byte
+	pointers map[string]int
+}
+
+// Pack serializes the message. Section counts in the header are overwritten
+// with the actual slice lengths.
+func (m *Message) Pack() ([]byte, error) {
+	p := &packer{buf: make([]byte, 0, 512), pointers: make(map[string]int)}
+
+	h := m.Header
+	h.QDCount = uint16(len(m.Questions))
+	h.ANCount = uint16(len(m.Answers))
+	h.NSCount = uint16(len(m.Authorities))
+	h.ARCount = uint16(len(m.Additionals))
+
+	p.uint16(h.ID)
+	var flags uint16
+	if h.QR {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.Opcode&0xF) << 11
+	if h.AA {
+		flags |= 1 << 10
+	}
+	if h.TC {
+		flags |= 1 << 9
+	}
+	if h.RD {
+		flags |= 1 << 8
+	}
+	if h.RA {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.RCode & 0xF)
+	p.uint16(flags)
+	p.uint16(h.QDCount)
+	p.uint16(h.ANCount)
+	p.uint16(h.NSCount)
+	p.uint16(h.ARCount)
+
+	for _, q := range m.Questions {
+		if err := p.name(q.Name); err != nil {
+			return nil, err
+		}
+		p.uint16(q.Type)
+		p.uint16(q.Class)
+	}
+	for _, sec := range [][]Record{m.Answers, m.Authorities, m.Additionals} {
+		for _, r := range sec {
+			if err := p.record(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p.buf, nil
+}
+
+func (p *packer) uint16(v uint16) { p.buf = append(p.buf, byte(v>>8), byte(v)) }
+func (p *packer) uint32(v uint32) {
+	p.buf = append(p.buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// name emits a domain name, reusing compression pointers for previously
+// packed suffixes.
+func (p *packer) name(name string) error {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	if name == "" {
+		p.buf = append(p.buf, 0)
+		return nil
+	}
+	if len(name) > 254 {
+		return ErrNameTooLong
+	}
+	labels := strings.Split(name, ".")
+	for i := range labels {
+		suffix := strings.Join(labels[i:], ".")
+		if off, ok := p.pointers[suffix]; ok && off < 0x3FFF {
+			p.uint16(uint16(off) | 0xC000)
+			return nil
+		}
+		if len(p.buf) < 0x3FFF {
+			p.pointers[suffix] = len(p.buf)
+		}
+		label := labels[i]
+		if len(label) == 0 || len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		p.buf = append(p.buf, byte(len(label)))
+		p.buf = append(p.buf, label...)
+	}
+	p.buf = append(p.buf, 0)
+	return nil
+}
+
+func (p *packer) record(r Record) error {
+	if err := p.name(r.Name); err != nil {
+		return err
+	}
+	p.uint16(r.Type)
+	p.uint16(r.Class)
+	p.uint32(r.TTL)
+
+	// Reserve RDLENGTH and backfill once RDATA is emitted. Compression
+	// pointers inside RDATA remain valid because offsets are absolute.
+	lenAt := len(p.buf)
+	p.uint16(0)
+	start := len(p.buf)
+	switch r.Type {
+	case TypeA:
+		if !r.Addr.Is4() {
+			return fmt.Errorf("dnswire: A record for %s needs an IPv4 address", r.Name)
+		}
+		a4 := r.Addr.As4()
+		p.buf = append(p.buf, a4[:]...)
+	case TypeAAAA:
+		if !r.Addr.Is6() || r.Addr.Is4() {
+			return fmt.Errorf("dnswire: AAAA record for %s needs an IPv6 address", r.Name)
+		}
+		a16 := r.Addr.As16()
+		p.buf = append(p.buf, a16[:]...)
+	case TypeNS, TypeCNAME:
+		if err := p.name(r.Target); err != nil {
+			return err
+		}
+	case TypeTXT:
+		text := r.Text
+		for len(text) > 255 {
+			p.buf = append(p.buf, 255)
+			p.buf = append(p.buf, text[:255]...)
+			text = text[255:]
+		}
+		p.buf = append(p.buf, byte(len(text)))
+		p.buf = append(p.buf, text...)
+	case TypeSOA:
+		if r.SOA == nil {
+			return fmt.Errorf("dnswire: SOA record for %s missing data", r.Name)
+		}
+		if err := p.name(r.SOA.MName); err != nil {
+			return err
+		}
+		if err := p.name(r.SOA.RName); err != nil {
+			return err
+		}
+		p.uint32(r.SOA.Serial)
+		p.uint32(r.SOA.Refresh)
+		p.uint32(r.SOA.Retry)
+		p.uint32(r.SOA.Expire)
+		p.uint32(r.SOA.Minimum)
+	default:
+		return fmt.Errorf("dnswire: unsupported record type %d", r.Type)
+	}
+	rdlen := len(p.buf) - start
+	p.buf[lenAt] = byte(rdlen >> 8)
+	p.buf[lenAt+1] = byte(rdlen)
+	return nil
+}
+
+// unpacker deserializes a message.
+type unpacker struct {
+	buf []byte
+	off int
+}
+
+// Unpack parses a complete DNS message.
+func Unpack(data []byte) (*Message, error) {
+	u := &unpacker{buf: data}
+	var m Message
+
+	id, err := u.uint16()
+	if err != nil {
+		return nil, err
+	}
+	flags, err := u.uint16()
+	if err != nil {
+		return nil, err
+	}
+	m.Header = Header{
+		ID:     id,
+		QR:     flags&(1<<15) != 0,
+		Opcode: uint8(flags >> 11 & 0xF),
+		AA:     flags&(1<<10) != 0,
+		TC:     flags&(1<<9) != 0,
+		RD:     flags&(1<<8) != 0,
+		RA:     flags&(1<<7) != 0,
+		RCode:  uint8(flags & 0xF),
+	}
+	counts := [4]uint16{}
+	for i := range counts {
+		if counts[i], err = u.uint16(); err != nil {
+			return nil, err
+		}
+	}
+	m.Header.QDCount, m.Header.ANCount = counts[0], counts[1]
+	m.Header.NSCount, m.Header.ARCount = counts[2], counts[3]
+
+	for i := 0; i < int(counts[0]); i++ {
+		var q Question
+		if q.Name, err = u.name(); err != nil {
+			return nil, err
+		}
+		if q.Type, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		if q.Class, err = u.uint16(); err != nil {
+			return nil, err
+		}
+		m.Questions = append(m.Questions, q)
+	}
+	sections := []*[]Record{&m.Answers, &m.Authorities, &m.Additionals}
+	for s, count := range counts[1:] {
+		for i := 0; i < int(count); i++ {
+			r, err := u.record()
+			if err != nil {
+				return nil, err
+			}
+			*sections[s] = append(*sections[s], r)
+		}
+	}
+	if u.off != len(u.buf) {
+		return nil, ErrTrailingBytes
+	}
+	return &m, nil
+}
+
+func (u *unpacker) need(n int) error {
+	if u.off+n > len(u.buf) {
+		return ErrTruncatedMessage
+	}
+	return nil
+}
+
+func (u *unpacker) uint16() (uint16, error) {
+	if err := u.need(2); err != nil {
+		return 0, err
+	}
+	v := uint16(u.buf[u.off])<<8 | uint16(u.buf[u.off+1])
+	u.off += 2
+	return v, nil
+}
+
+func (u *unpacker) uint32() (uint32, error) {
+	if err := u.need(4); err != nil {
+		return 0, err
+	}
+	v := uint32(u.buf[u.off])<<24 | uint32(u.buf[u.off+1])<<16 |
+		uint32(u.buf[u.off+2])<<8 | uint32(u.buf[u.off+3])
+	u.off += 4
+	return v, nil
+}
+
+// name decodes a possibly compressed domain name starting at the current
+// offset, leaving the offset after the name's in-stream representation.
+func (u *unpacker) name() (string, error) {
+	s, next, err := u.nameAt(u.off)
+	if err != nil {
+		return "", err
+	}
+	u.off = next
+	return s, nil
+}
+
+func (u *unpacker) nameAt(off int) (name string, next int, err error) {
+	var labels []string
+	jumped := false
+	next = off
+	for hops := 0; ; hops++ {
+		if hops > 128 {
+			return "", 0, ErrPointerLoop
+		}
+		if off >= len(u.buf) {
+			return "", 0, ErrTruncatedMessage
+		}
+		b := u.buf[off]
+		switch {
+		case b == 0:
+			if !jumped {
+				next = off + 1
+			}
+			return strings.Join(labels, "."), next, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(u.buf) {
+				return "", 0, ErrTruncatedMessage
+			}
+			ptr := int(b&0x3F)<<8 | int(u.buf[off+1])
+			if !jumped {
+				next = off + 2
+				jumped = true
+			}
+			if ptr >= off {
+				// Forward pointers enable loops; RFC-compliant encoders
+				// only point backward.
+				return "", 0, ErrPointerLoop
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("dnswire: reserved label type 0x%02x", b&0xC0)
+		default:
+			l := int(b)
+			if off+1+l > len(u.buf) {
+				return "", 0, ErrTruncatedMessage
+			}
+			labels = append(labels, string(u.buf[off+1:off+1+l]))
+			if len(strings.Join(labels, ".")) > 254 {
+				return "", 0, ErrNameTooLong
+			}
+			off += 1 + l
+			if !jumped {
+				next = off
+			}
+		}
+	}
+}
+
+func (u *unpacker) record() (Record, error) {
+	var r Record
+	var err error
+	if r.Name, err = u.name(); err != nil {
+		return r, err
+	}
+	if r.Type, err = u.uint16(); err != nil {
+		return r, err
+	}
+	if r.Class, err = u.uint16(); err != nil {
+		return r, err
+	}
+	if r.TTL, err = u.uint32(); err != nil {
+		return r, err
+	}
+	rdlen, err := u.uint16()
+	if err != nil {
+		return r, err
+	}
+	if err := u.need(int(rdlen)); err != nil {
+		return r, err
+	}
+	end := u.off + int(rdlen)
+
+	switch r.Type {
+	case TypeA:
+		if rdlen != 4 {
+			return r, fmt.Errorf("dnswire: A RDATA length %d", rdlen)
+		}
+		r.Addr = netip.AddrFrom4([4]byte(u.buf[u.off:end]))
+		u.off = end
+	case TypeAAAA:
+		if rdlen != 16 {
+			return r, fmt.Errorf("dnswire: AAAA RDATA length %d", rdlen)
+		}
+		r.Addr = netip.AddrFrom16([16]byte(u.buf[u.off:end]))
+		u.off = end
+	case TypeNS, TypeCNAME:
+		if r.Target, err = u.name(); err != nil {
+			return r, err
+		}
+		if u.off != end {
+			return r, fmt.Errorf("dnswire: %d stray RDATA bytes in type-%d record", end-u.off, r.Type)
+		}
+	case TypeTXT:
+		var sb strings.Builder
+		for u.off < end {
+			l := int(u.buf[u.off])
+			u.off++
+			if u.off+l > end {
+				return r, ErrTruncatedMessage
+			}
+			sb.Write(u.buf[u.off : u.off+l])
+			u.off += l
+		}
+		r.Text = sb.String()
+	case TypeSOA:
+		soa := &SOAData{}
+		if soa.MName, err = u.name(); err != nil {
+			return r, err
+		}
+		if soa.RName, err = u.name(); err != nil {
+			return r, err
+		}
+		for _, dst := range []*uint32{&soa.Serial, &soa.Refresh, &soa.Retry, &soa.Expire, &soa.Minimum} {
+			if *dst, err = u.uint32(); err != nil {
+				return r, err
+			}
+		}
+		if u.off != end {
+			return r, fmt.Errorf("dnswire: %d stray RDATA bytes in SOA", end-u.off)
+		}
+		r.SOA = soa
+	default:
+		// Unknown type: skip RDATA, keep the envelope.
+		u.off = end
+	}
+	return r, nil
+}
+
+// TypeName returns the mnemonic for a record type, for logs and reports.
+func TypeName(t uint16) string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypeCNAME:
+		return "CNAME"
+	case TypeSOA:
+		return "SOA"
+	case TypeTXT:
+		return "TXT"
+	case TypeAAAA:
+		return "AAAA"
+	default:
+		return fmt.Sprintf("TYPE%d", t)
+	}
+}

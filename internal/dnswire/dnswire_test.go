@@ -1,0 +1,352 @@
+package dnswire
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m *Message) *Message {
+	t.Helper()
+	data, err := m.Pack()
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	got, err := Unpack(data)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	return got
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	q := NewQuery(0x1234, "example.com", TypeA)
+	got := roundTrip(t, q)
+	if got.Header.ID != 0x1234 || !got.Header.RD || got.Header.QR {
+		t.Errorf("header = %+v", got.Header)
+	}
+	if len(got.Questions) != 1 {
+		t.Fatalf("questions = %d", len(got.Questions))
+	}
+	if got.Questions[0].Name != "example.com" || got.Questions[0].Type != TypeA || got.Questions[0].Class != ClassIN {
+		t.Errorf("question = %+v", got.Questions[0])
+	}
+}
+
+func TestResponseRoundTripAllTypes(t *testing.T) {
+	m := &Message{
+		Header: Header{ID: 7, QR: true, AA: true, RA: true, RCode: RCodeNoError},
+		Questions: []Question{
+			{Name: "www.example.co.th", Type: TypeA, Class: ClassIN},
+		},
+		Answers: []Record{
+			{Name: "www.example.co.th", Type: TypeCNAME, Class: ClassIN, TTL: 300, Target: "cdn.example.co.th"},
+			{Name: "cdn.example.co.th", Type: TypeA, Class: ClassIN, TTL: 60, Addr: netip.MustParseAddr("203.0.113.9")},
+			{Name: "cdn.example.co.th", Type: TypeAAAA, Class: ClassIN, TTL: 60, Addr: netip.MustParseAddr("2001:db8::9")},
+		},
+		Authorities: []Record{
+			{Name: "example.co.th", Type: TypeNS, Class: ClassIN, TTL: 86400, Target: "ns1.hoster.th"},
+			{Name: "example.co.th", Type: TypeSOA, Class: ClassIN, TTL: 3600, SOA: &SOAData{
+				MName: "ns1.hoster.th", RName: "admin.hoster.th",
+				Serial: 2023051500, Refresh: 7200, Retry: 900, Expire: 1209600, Minimum: 300,
+			}},
+		},
+		Additionals: []Record{
+			{Name: "ns1.hoster.th", Type: TypeA, Class: ClassIN, TTL: 60, Addr: netip.MustParseAddr("198.51.100.53")},
+			{Name: "info.example.co.th", Type: TypeTXT, Class: ClassIN, TTL: 30, Text: "v=webdep1 layer=hosting"},
+		},
+	}
+	got := roundTrip(t, m)
+
+	if !got.Header.QR || !got.Header.AA || got.Header.RCode != RCodeNoError {
+		t.Errorf("header = %+v", got.Header)
+	}
+	if len(got.Answers) != 3 || len(got.Authorities) != 2 || len(got.Additionals) != 2 {
+		t.Fatalf("section sizes: %d %d %d", len(got.Answers), len(got.Authorities), len(got.Additionals))
+	}
+	if got.Answers[0].Target != "cdn.example.co.th" {
+		t.Errorf("CNAME target = %q", got.Answers[0].Target)
+	}
+	if got.Answers[1].Addr != netip.MustParseAddr("203.0.113.9") {
+		t.Errorf("A = %v", got.Answers[1].Addr)
+	}
+	if got.Answers[2].Addr != netip.MustParseAddr("2001:db8::9") {
+		t.Errorf("AAAA = %v", got.Answers[2].Addr)
+	}
+	soa := got.Authorities[1].SOA
+	if soa == nil || soa.MName != "ns1.hoster.th" || soa.Serial != 2023051500 || soa.Minimum != 300 {
+		t.Errorf("SOA = %+v", soa)
+	}
+	if got.Additionals[1].Text != "v=webdep1 layer=hosting" {
+		t.Errorf("TXT = %q", got.Additionals[1].Text)
+	}
+}
+
+func TestCompressionShrinksRepeatedNames(t *testing.T) {
+	m := &Message{
+		Header:    Header{ID: 1, QR: true},
+		Questions: []Question{{Name: "a.very.long.domain.example.com", Type: TypeA, Class: ClassIN}},
+	}
+	for i := 0; i < 5; i++ {
+		m.Answers = append(m.Answers, Record{
+			Name: "a.very.long.domain.example.com", Type: TypeA, Class: ClassIN,
+			TTL: 60, Addr: netip.MustParseAddr("192.0.2.1"),
+		})
+	}
+	data, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without compression each answer would repeat the 32-byte name; with
+	// pointers each costs 2 bytes. Header(12) + question(36) + 5 answers
+	// (2+10+4 each) = 128.
+	if len(data) > 140 {
+		t.Errorf("packed size %d suggests compression is not applied", len(data))
+	}
+	got, err := Unpack(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range got.Answers {
+		if a.Name != "a.very.long.domain.example.com" {
+			t.Errorf("decompressed name = %q", a.Name)
+		}
+	}
+}
+
+func TestNamesAreCaseFolded(t *testing.T) {
+	m := NewQuery(1, "WwW.ExAmPlE.CoM", TypeA)
+	got := roundTrip(t, m)
+	if got.Questions[0].Name != "www.example.com" {
+		t.Errorf("name = %q", got.Questions[0].Name)
+	}
+}
+
+func TestRootName(t *testing.T) {
+	m := NewQuery(1, ".", TypeNS)
+	got := roundTrip(t, m)
+	if got.Questions[0].Name != "" {
+		t.Errorf("root name decoded as %q", got.Questions[0].Name)
+	}
+}
+
+func TestPackValidation(t *testing.T) {
+	// Label too long.
+	long := strings.Repeat("a", 64) + ".com"
+	if _, err := NewQuery(1, long, TypeA).Pack(); err == nil {
+		t.Error("64-char label accepted")
+	}
+	// Name too long.
+	name := strings.TrimSuffix(strings.Repeat("abcdefgh.", 32), ".")
+	if _, err := NewQuery(1, name, TypeA).Pack(); err == nil {
+		t.Error("overlong name accepted")
+	}
+	// A record with v6 address.
+	m := &Message{Answers: []Record{{Name: "x.com", Type: TypeA, Class: ClassIN, Addr: netip.MustParseAddr("::1")}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("A record with IPv6 address accepted")
+	}
+	// AAAA with v4.
+	m = &Message{Answers: []Record{{Name: "x.com", Type: TypeAAAA, Class: ClassIN, Addr: netip.MustParseAddr("1.2.3.4")}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("AAAA record with IPv4 address accepted")
+	}
+	// SOA without data.
+	m = &Message{Answers: []Record{{Name: "x.com", Type: TypeSOA, Class: ClassIN}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("SOA without data accepted")
+	}
+	// Unsupported type.
+	m = &Message{Answers: []Record{{Name: "x.com", Type: 99, Class: ClassIN}}}
+	if _, err := m.Pack(); err == nil {
+		t.Error("unsupported type accepted")
+	}
+}
+
+func TestUnpackRejectsTruncation(t *testing.T) {
+	full, err := NewQuery(9, "example.org", TypeAAAA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := Unpack(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnpackRejectsTrailingGarbage(t *testing.T) {
+	full, err := NewQuery(9, "example.org", TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unpack(append(full, 0xFF)); err != ErrTrailingBytes {
+		t.Errorf("want ErrTrailingBytes, got %v", err)
+	}
+}
+
+func TestUnpackRejectsPointerLoop(t *testing.T) {
+	// Craft a message whose question name is a self-referential pointer.
+	buf := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, // header: 1 question
+		0xC0, 12, // pointer to itself (offset 12)
+		0, 1, 0, 1, // type A, class IN
+	}
+	if _, err := Unpack(buf); err == nil {
+		t.Error("pointer loop accepted")
+	}
+}
+
+func TestUnpackRejectsReservedLabelType(t *testing.T) {
+	buf := []byte{
+		0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0,
+		0x80, 3, // reserved label type 10xxxxxx
+		0, 1, 0, 1,
+	}
+	if _, err := Unpack(buf); err == nil {
+		t.Error("reserved label type accepted")
+	}
+}
+
+func TestLongTXTSplitsChunks(t *testing.T) {
+	text := strings.Repeat("x", 600)
+	m := &Message{
+		Header:  Header{ID: 2, QR: true},
+		Answers: []Record{{Name: "t.example", Type: TypeTXT, Class: ClassIN, TTL: 1, Text: text}},
+	}
+	got := roundTrip(t, m)
+	if got.Answers[0].Text != text {
+		t.Errorf("TXT length %d, want 600", len(got.Answers[0].Text))
+	}
+}
+
+func TestUnknownRecordTypeSkipped(t *testing.T) {
+	// Hand-pack a record of unknown type 33 (SRV) and ensure the envelope
+	// survives while RDATA is skipped.
+	var p packer
+	p.pointers = map[string]int{}
+	p.uint16(5) // ID
+	p.uint16(1 << 15)
+	p.uint16(0)
+	p.uint16(1)
+	p.uint16(0)
+	p.uint16(0)
+	if err := p.name("srv.example"); err != nil {
+		t.Fatal(err)
+	}
+	p.uint16(33) // SRV
+	p.uint16(ClassIN)
+	p.uint32(60)
+	p.uint16(6)
+	p.buf = append(p.buf, 1, 2, 3, 4, 5, 6)
+
+	got, err := Unpack(p.buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 1 || got.Answers[0].Type != 33 {
+		t.Fatalf("answers = %+v", got.Answers)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(id uint16, l1, l2 uint8, a, b, c, d byte) bool {
+		label := func(n uint8) string {
+			n = n%20 + 1
+			return strings.Repeat("x", int(n))
+		}
+		name := label(l1) + "." + label(l2) + ".test"
+		m := &Message{
+			Header:    Header{ID: id, QR: true, AA: true},
+			Questions: []Question{{Name: name, Type: TypeA, Class: ClassIN}},
+			Answers: []Record{{
+				Name: name, Type: TypeA, Class: ClassIN, TTL: 42,
+				Addr: netip.AddrFrom4([4]byte{a, b, c, d}),
+			}},
+		}
+		data, err := m.Pack()
+		if err != nil {
+			return false
+		}
+		got, err := Unpack(data)
+		if err != nil {
+			return false
+		}
+		return got.Header.ID == id &&
+			got.Questions[0].Name == name &&
+			got.Answers[0].Addr == netip.AddrFrom4([4]byte{a, b, c, d})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeName(t *testing.T) {
+	cases := map[uint16]string{
+		TypeA: "A", TypeNS: "NS", TypeCNAME: "CNAME",
+		TypeSOA: "SOA", TypeTXT: "TXT", TypeAAAA: "AAAA",
+		99: "TYPE99",
+	}
+	for typ, want := range cases {
+		if got := TypeName(typ); got != want {
+			t.Errorf("TypeName(%d) = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestPackedQueryIsStable(t *testing.T) {
+	a, err := NewQuery(3, "stable.example", TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewQuery(3, "stable.example", TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("packing is not deterministic")
+	}
+}
+
+func TestUnpackNeverPanicsProperty(t *testing.T) {
+	// The decoder must reject or survive arbitrary bytes, never panic.
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		Unpack(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpackNeverPanicsOnMutatedMessages(t *testing.T) {
+	// Bit-flip a valid message at every position: still no panics, and
+	// whatever parses must re-pack without panicking either.
+	base, err := NewQuery(77, "mutate.example.com", TypeA).Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		for _, flip := range []byte{0x01, 0x80, 0xFF} {
+			mutated := append([]byte(nil), base...)
+			mutated[i] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutation at byte %d: %v", i, r)
+					}
+				}()
+				if m, err := Unpack(mutated); err == nil {
+					m.Pack()
+				}
+			}()
+		}
+	}
+}

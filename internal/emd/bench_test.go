@@ -1,0 +1,52 @@
+package emd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkCentralizationClosedForm(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]float64, 800) // a typical country's provider count
+	for i := range counts {
+		counts[i] = float64(1 + rng.Intn(500))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Centralization(counts)
+	}
+}
+
+func BenchmarkSolveTransportation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 12
+	supply := make([]float64, n)
+	demand := make([]float64, n)
+	for i := range supply {
+		v := float64(1 + rng.Intn(20))
+		supply[i] = v
+		demand[(i+3)%n] = v
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64() * 10
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(supply, demand, cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReferenceEMD(b *testing.B) {
+	counts := []int{40, 25, 12, 8, 5, 4, 3, 2, 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := ReferenceEMD(counts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

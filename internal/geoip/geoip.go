@@ -1,0 +1,102 @@
+// Package geoip is the toolkit's IP-geolocation database — the substitute
+// for the NetAcuity feed the paper licenses. Lookups are longest-prefix
+// matches over a prefix→location table; an optional deterministic error
+// model reproduces the country-level inaccuracy of commercial geolocation
+// (the paper cites 89.4% country accuracy for NetAcuity).
+package geoip
+
+import (
+	"hash/fnv"
+	"net/netip"
+
+	"github.com/webdep/webdep/internal/iptrie"
+)
+
+// Location is a geolocation result.
+type Location struct {
+	Country   string // ISO 3166-1 alpha-2
+	Continent string // AF, AS, EU, NA, OC, SA
+}
+
+// DB is a prefix-based geolocation database. Construct with New, populate
+// with Insert, then query concurrently with Lookup.
+type DB struct {
+	trie *iptrie.Trie[Location]
+
+	// errorRate in [0,1) is the probability a lookup is deliberately
+	// mislabeled; mislabels are a deterministic function of the address so
+	// repeated lookups agree, as a real (consistently wrong) database would.
+	errorRate float64
+	// decoys are the locations mislabeled lookups are drawn from.
+	decoys []Location
+}
+
+// New returns an empty, perfectly accurate database.
+func New() *DB {
+	return &DB{trie: iptrie.New[Location]()}
+}
+
+// SetErrorModel enables deterministic mislabeling: approximately rate of
+// lookups (by address hash) return a decoy location instead of the true
+// one. A rate of 0.106 models NetAcuity's measured country-level error.
+// Passing rate <= 0 or no decoys disables the model.
+func (db *DB) SetErrorModel(rate float64, decoys []Location) {
+	if rate <= 0 || rate >= 1 || len(decoys) == 0 {
+		db.errorRate = 0
+		db.decoys = nil
+		return
+	}
+	db.errorRate = rate
+	db.decoys = append([]Location(nil), decoys...)
+}
+
+// Insert registers a prefix's location.
+func (db *DB) Insert(prefix netip.Prefix, loc Location) error {
+	return db.trie.Insert(prefix, loc)
+}
+
+// InsertString registers a CIDR string's location.
+func (db *DB) InsertString(cidr string, loc Location) error {
+	return db.trie.InsertString(cidr, loc)
+}
+
+// Len reports the number of prefixes in the database.
+func (db *DB) Len() int { return db.trie.Len() }
+
+// Lookup geolocates an address. The boolean is false when no prefix covers
+// it.
+func (db *DB) Lookup(addr netip.Addr) (Location, bool) {
+	loc, ok := db.trie.Lookup(addr)
+	if !ok {
+		return Location{}, false
+	}
+	if db.errorRate > 0 && db.mislabels(addr) {
+		return db.decoyFor(addr), true
+	}
+	return loc, true
+}
+
+// LookupString geolocates an IP given as a string.
+func (db *DB) LookupString(ip string) (Location, bool) {
+	addr, err := netip.ParseAddr(ip)
+	if err != nil {
+		return Location{}, false
+	}
+	return db.Lookup(addr)
+}
+
+func (db *DB) mislabels(addr netip.Addr) bool {
+	h := fnv.New64a()
+	raw := addr.AsSlice()
+	h.Write(raw)
+	// Map the hash onto [0,1) and compare against the error rate.
+	frac := float64(h.Sum64()%1_000_000) / 1_000_000
+	return frac < db.errorRate
+}
+
+func (db *DB) decoyFor(addr netip.Addr) Location {
+	h := fnv.New64a()
+	h.Write([]byte("decoy"))
+	h.Write(addr.AsSlice())
+	return db.decoys[h.Sum64()%uint64(len(db.decoys))]
+}

@@ -1,0 +1,40 @@
+package geoip
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LoadCSV populates the database from a simple text feed, one entry per
+// line: "prefix,country,continent" (comments with '#', blank lines
+// ignored). This is the adoption path for real geolocation data: convert
+// your provider's feed to this format and the rest of the toolkit works
+// unchanged.
+func (db *DB) LoadCSV(r io.Reader) (int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	n := 0
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return n, fmt.Errorf("geoip: line %d: want prefix,country,continent", line)
+		}
+		loc := Location{
+			Country:   strings.ToUpper(strings.TrimSpace(parts[1])),
+			Continent: strings.ToUpper(strings.TrimSpace(parts[2])),
+		}
+		if err := db.InsertString(strings.TrimSpace(parts[0]), loc); err != nil {
+			return n, fmt.Errorf("geoip: line %d: %w", line, err)
+		}
+		n++
+	}
+	return n, scanner.Err()
+}

@@ -1,0 +1,47 @@
+package geoip
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	feed := `# provider feed
+104.16.0.0/13, US, NA
+
+5.255.255.0/24, ru, eu
+2001:db8::/32, SG, AS
+`
+	db := New()
+	n, err := db.LoadCSV(strings.NewReader(feed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || db.Len() != 3 {
+		t.Fatalf("loaded %d entries, Len %d", n, db.Len())
+	}
+	if loc, ok := db.LookupString("104.17.1.1"); !ok || loc.Country != "US" {
+		t.Errorf("lookup = %+v %v", loc, ok)
+	}
+	if loc, ok := db.LookupString("5.255.255.77"); !ok || loc.Country != "RU" || loc.Continent != "EU" {
+		t.Errorf("case folding: %+v %v", loc, ok)
+	}
+	if loc, ok := db.LookupString("2001:db8::1"); !ok || loc.Continent != "AS" {
+		t.Errorf("v6: %+v %v", loc, ok)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := New()
+	if _, err := db.LoadCSV(strings.NewReader("only,two")); err == nil {
+		t.Error("two-field line accepted")
+	}
+	if _, err := db.LoadCSV(strings.NewReader("not-a-prefix,US,NA")); err == nil {
+		t.Error("bad prefix accepted")
+	}
+	// Partial progress is reported.
+	n, err := db.LoadCSV(strings.NewReader("10.0.0.0/8,US,NA\nbad,US,NA"))
+	if err == nil || n != 1 {
+		t.Errorf("partial load: n=%d err=%v", n, err)
+	}
+}

@@ -1,0 +1,47 @@
+package iptrie
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func benchTrie(b *testing.B, prefixes int) *Trie[int] {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	for i := 0; i < prefixes; i++ {
+		cidr := fmt.Sprintf("%d.%d.0.0/16", 10+rng.Intn(40), rng.Intn(256))
+		if err := tr.InsertString(cidr, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func BenchmarkLookup10kPrefixes(b *testing.B) {
+	tr := benchTrie(b, 10000)
+	addrs := make([]netip.Addr, 1024)
+	rng := rand.New(rand.NewSource(2))
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{byte(10 + rng.Intn(40)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(addrs[i%len(addrs)])
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < b.N; i++ {
+		tr := New[int]()
+		for j := 0; j < 100; j++ {
+			cidr := fmt.Sprintf("%d.%d.0.0/16", 10+rng.Intn(40), rng.Intn(256))
+			if err := tr.InsertString(cidr, j); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package iptrie provides a binary (one bit per level) longest-prefix-match
+// trie over IP prefixes, the lookup structure behind the toolkit's
+// geolocation (NetAcuity substitute), prefix→AS (pfx2as substitute), and
+// anycast-prefix databases.
+//
+// The trie supports IPv4 and IPv6 uniformly by keying on the 4-/16-byte
+// address families separately, exactly as routing tables do.
+package iptrie
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+type node[V any] struct {
+	children [2]*node[V]
+	value    V
+	hasValue bool
+}
+
+// Trie maps IP prefixes to values with longest-prefix-match lookup. The
+// zero value is an empty trie ready to use. Trie is not safe for concurrent
+// mutation; concurrent lookups after construction are safe.
+type Trie[V any] struct {
+	v4, v6 *node[V]
+	size   int
+}
+
+// New returns an empty trie.
+func New[V any]() *Trie[V] { return &Trie[V]{} }
+
+// Len reports the number of inserted prefixes.
+func (t *Trie[V]) Len() int { return t.size }
+
+func rootFor[V any](t *Trie[V], is4 bool, create bool) **node[V] {
+	if is4 {
+		if t.v4 == nil && create {
+			t.v4 = &node[V]{}
+		}
+		return &t.v4
+	}
+	if t.v6 == nil && create {
+		t.v6 = &node[V]{}
+	}
+	return &t.v6
+}
+
+func bitAt(addr []byte, i int) int {
+	return int(addr[i/8]>>(7-i%8)) & 1
+}
+
+// Insert associates the prefix with the value, replacing any existing value
+// for exactly that prefix. It returns an error for invalid prefixes.
+func (t *Trie[V]) Insert(prefix netip.Prefix, value V) error {
+	if !prefix.IsValid() {
+		return fmt.Errorf("iptrie: invalid prefix %v", prefix)
+	}
+	prefix = prefix.Masked()
+	addr := prefix.Addr()
+	raw := addr.AsSlice()
+	cur := *rootFor(t, addr.Is4(), true)
+	for i := 0; i < prefix.Bits(); i++ {
+		b := bitAt(raw, i)
+		if cur.children[b] == nil {
+			cur.children[b] = &node[V]{}
+		}
+		cur = cur.children[b]
+	}
+	if !cur.hasValue {
+		t.size++
+	}
+	cur.value = value
+	cur.hasValue = true
+	return nil
+}
+
+// InsertString parses a CIDR string and inserts it.
+func (t *Trie[V]) InsertString(cidr string, value V) error {
+	p, err := netip.ParsePrefix(cidr)
+	if err != nil {
+		return fmt.Errorf("iptrie: %w", err)
+	}
+	return t.Insert(p, value)
+}
+
+// Lookup returns the value of the longest matching prefix for the address.
+// The boolean is false when no prefix covers the address.
+func (t *Trie[V]) Lookup(addr netip.Addr) (V, bool) {
+	var zero V
+	if !addr.IsValid() {
+		return zero, false
+	}
+	// Normalize 4-in-6 addresses so ::ffff:a.b.c.d hits the v4 table.
+	if addr.Is4In6() {
+		addr = addr.Unmap()
+	}
+	cur := *rootFor(t, addr.Is4(), false)
+	if cur == nil {
+		return zero, false
+	}
+	raw := addr.AsSlice()
+	best := zero
+	found := false
+	if cur.hasValue { // default route
+		best, found = cur.value, true
+	}
+	bits := len(raw) * 8
+	for i := 0; i < bits; i++ {
+		cur = cur.children[bitAt(raw, i)]
+		if cur == nil {
+			break
+		}
+		if cur.hasValue {
+			best, found = cur.value, true
+		}
+	}
+	return best, found
+}
+
+// LookupString parses an IP address and looks it up.
+func (t *Trie[V]) LookupString(ip string) (V, bool) {
+	addr, err := netip.ParseAddr(ip)
+	if err != nil {
+		var zero V
+		return zero, false
+	}
+	return t.Lookup(addr)
+}

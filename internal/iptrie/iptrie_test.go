@@ -1,0 +1,193 @@
+package iptrie
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestLongestPrefixWins(t *testing.T) {
+	tr := New[string]()
+	mustInsert(t, tr, "10.0.0.0/8", "big")
+	mustInsert(t, tr, "10.1.0.0/16", "mid")
+	mustInsert(t, tr, "10.1.2.0/24", "small")
+
+	cases := []struct {
+		ip, want string
+	}{
+		{"10.9.9.9", "big"},
+		{"10.1.9.9", "mid"},
+		{"10.1.2.9", "small"},
+	}
+	for _, c := range cases {
+		got, ok := tr.LookupString(c.ip)
+		if !ok || got != c.want {
+			t.Errorf("Lookup(%s) = %q/%v, want %q", c.ip, got, ok, c.want)
+		}
+	}
+	if _, ok := tr.LookupString("11.0.0.1"); ok {
+		t.Error("uncovered address matched")
+	}
+}
+
+func TestExactHostRoutes(t *testing.T) {
+	tr := New[int]()
+	mustInsert(t, tr, "192.0.2.1/32", 1)
+	mustInsert(t, tr, "192.0.2.0/24", 2)
+	if v, ok := tr.LookupString("192.0.2.1"); !ok || v != 1 {
+		t.Errorf("host route: %v %v", v, ok)
+	}
+	if v, ok := tr.LookupString("192.0.2.2"); !ok || v != 2 {
+		t.Errorf("covering route: %v %v", v, ok)
+	}
+}
+
+func TestDefaultRoute(t *testing.T) {
+	tr := New[string]()
+	mustInsert(t, tr, "0.0.0.0/0", "default")
+	mustInsert(t, tr, "203.0.113.0/24", "specific")
+	if v, _ := tr.LookupString("8.8.8.8"); v != "default" {
+		t.Errorf("default: %q", v)
+	}
+	if v, _ := tr.LookupString("203.0.113.7"); v != "specific" {
+		t.Errorf("specific: %q", v)
+	}
+}
+
+func TestIPv6Separate(t *testing.T) {
+	tr := New[string]()
+	mustInsert(t, tr, "2001:db8::/32", "v6net")
+	mustInsert(t, tr, "32.1.13.0/24", "v4net") // same leading bytes as 2001:0db8
+	if v, ok := tr.LookupString("2001:db8::1"); !ok || v != "v6net" {
+		t.Errorf("v6 lookup: %q %v", v, ok)
+	}
+	if _, ok := tr.LookupString("2001:db9::1"); ok {
+		t.Error("adjacent v6 prefix matched")
+	}
+	if v, ok := tr.LookupString("32.1.13.5"); !ok || v != "v4net" {
+		t.Errorf("v4 lookup: %q %v", v, ok)
+	}
+}
+
+func Test4In6Unmapped(t *testing.T) {
+	tr := New[string]()
+	mustInsert(t, tr, "198.51.100.0/24", "v4")
+	addr := netip.MustParseAddr("::ffff:198.51.100.7")
+	if v, ok := tr.Lookup(addr); !ok || v != "v4" {
+		t.Errorf("4-in-6 lookup: %q %v", v, ok)
+	}
+}
+
+func TestReplaceValue(t *testing.T) {
+	tr := New[string]()
+	mustInsert(t, tr, "10.0.0.0/8", "old")
+	mustInsert(t, tr, "10.0.0.0/8", "new")
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tr.Len())
+	}
+	if v, _ := tr.LookupString("10.1.1.1"); v != "new" {
+		t.Errorf("value not replaced: %q", v)
+	}
+}
+
+func TestUnmaskedPrefixNormalized(t *testing.T) {
+	tr := New[string]()
+	// Host bits set — must be masked on insert.
+	p := netip.MustParsePrefix("10.1.2.3/16")
+	if err := tr.Insert(p, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr.LookupString("10.1.200.200"); !ok || v != "x" {
+		t.Errorf("masked insert: %q %v", v, ok)
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	tr := New[string]()
+	if err := tr.InsertString("not-a-cidr", "x"); err == nil {
+		t.Error("bad CIDR accepted")
+	}
+	if err := tr.Insert(netip.Prefix{}, "x"); err == nil {
+		t.Error("zero prefix accepted")
+	}
+	if _, ok := tr.LookupString("not-an-ip"); ok {
+		t.Error("bad IP matched")
+	}
+	if _, ok := tr.Lookup(netip.Addr{}); ok {
+		t.Error("zero addr matched")
+	}
+}
+
+func TestEmptyTrie(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Error("empty trie has nonzero length")
+	}
+	if _, ok := tr.LookupString("1.2.3.4"); ok {
+		t.Error("empty trie matched")
+	}
+}
+
+func TestRandomizedAgainstLinearScanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		type entry struct {
+			p netip.Prefix
+			v int
+		}
+		tr := New[int]()
+		var entries []entry
+		for i := 0; i < 30; i++ {
+			bits := 8 * (1 + rng.Intn(3)) // /8, /16, /24
+			raw := [4]byte{byte(rng.Intn(8)), byte(rng.Intn(4)), byte(rng.Intn(4)), 0}
+			p, err := netip.AddrFrom4(raw).Prefix(bits)
+			if err != nil {
+				return false
+			}
+			// Skip duplicate prefixes: insert replaces, which would break
+			// the linear scan's first-match bookkeeping below.
+			dup := false
+			for _, e := range entries {
+				if e.p == p {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			if err := tr.Insert(p, i); err != nil {
+				return false
+			}
+			entries = append(entries, entry{p, i})
+		}
+		for trial := 0; trial < 50; trial++ {
+			addr := netip.AddrFrom4([4]byte{
+				byte(rng.Intn(8)), byte(rng.Intn(4)), byte(rng.Intn(4)), byte(rng.Intn(256)),
+			})
+			// Linear reference: longest matching prefix wins.
+			bestBits, bestVal, found := -1, 0, false
+			for _, e := range entries {
+				if e.p.Contains(addr) && e.p.Bits() > bestBits {
+					bestBits, bestVal, found = e.p.Bits(), e.v, true
+				}
+			}
+			got, ok := tr.Lookup(addr)
+			if ok != found || (found && got != bestVal) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustInsert[V any](t *testing.T, tr *Trie[V], cidr string, v V) {
+	t.Helper()
+	if err := tr.InsertString(cidr, v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package langid identifies the language of website text — the LangDetect
+// substitute used for the paper's Section 5.3.3 case studies (e.g. "31.4%
+// of the websites in Afghanistan's top list are in Persian, of which 60.8%
+// are hosted in Iran").
+//
+// Detection is two-stage: Unicode script analysis settles most languages
+// directly (Thai, Greek, Korean, …) or narrows to a script family (Arabic
+// vs Persian, Cyrillic languages, Latin languages); stopword evidence then
+// separates languages within a family. The classifier is intentionally
+// coarse — the pipeline only needs script-level confidence — but it is a
+// real classifier with real failure modes, not a lookup table.
+package langid
+
+import (
+	"strings"
+	"unicode"
+)
+
+// ISO 639-1 codes the detector can emit.
+const (
+	Unknown    = ""
+	English    = "en"
+	French     = "fr"
+	German     = "de"
+	Spanish    = "es"
+	Portuguese = "pt"
+	Czech      = "cs"
+	Slovak     = "sk"
+	Russian    = "ru"
+	Ukrainian  = "uk"
+	Arabic     = "ar"
+	Persian    = "fa"
+	Thai       = "th"
+	Greek      = "el"
+	Hebrew     = "he"
+	Korean     = "ko"
+	Japanese   = "ja"
+	Chinese    = "zh"
+	Hindi      = "hi"
+)
+
+// stopwords carries small, high-frequency word sets for Latin-script
+// languages and for Cyrillic disambiguation.
+var stopwords = map[string][]string{
+	English:    {"the", "and", "of", "to", "in", "is", "you", "that", "for", "with"},
+	French:     {"le", "la", "les", "des", "est", "vous", "dans", "pour", "avec", "une"},
+	German:     {"der", "die", "das", "und", "ist", "nicht", "mit", "für", "auf", "ein"},
+	Spanish:    {"el", "los", "las", "es", "una", "para", "con", "por", "del", "que"},
+	Portuguese: {"o", "os", "uma", "é", "não", "para", "com", "em", "do", "da"},
+	Czech:      {"je", "na", "se", "že", "to", "jsou", "ale", "jako", "podle", "byl"},
+	Slovak:     {"je", "na", "sa", "že", "to", "sú", "ale", "ako", "podľa", "bol"},
+	Russian:    {"и", "в", "не", "на", "что", "это", "как", "его", "для", "по"},
+	Ukrainian:  {"і", "в", "не", "на", "що", "це", "як", "його", "для", "по", "є", "та"},
+}
+
+// persianMarkers are characters present in Persian but absent from Arabic.
+var persianMarkers = []rune{'پ', 'چ', 'ژ', 'گ'}
+
+// arabicMarkers are characters/words far more common in Arabic than
+// Persian.
+var arabicMarkers = []string{"ال", "ة", "في", "من"}
+
+// Detect returns the ISO 639-1 code of the text's dominant language, or
+// Unknown for empty or indeterminate input.
+func Detect(text string) string {
+	if strings.TrimSpace(text) == "" {
+		return Unknown
+	}
+	counts := scriptCounts(text)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return Unknown
+	}
+	dominant, max := "", 0
+	for script, c := range counts {
+		if c > max {
+			dominant, max = script, c
+		}
+	}
+
+	switch dominant {
+	case "thai":
+		return Thai
+	case "greek":
+		return Greek
+	case "hebrew":
+		return Hebrew
+	case "hangul":
+		return Korean
+	case "kana":
+		return Japanese
+	case "han":
+		// Han without kana is Chinese; Japanese text nearly always carries
+		// kana.
+		if counts["kana"] > 0 {
+			return Japanese
+		}
+		return Chinese
+	case "devanagari":
+		return Hindi
+	case "arabic":
+		return detectArabicFamily(text)
+	case "cyrillic":
+		return detectByStopwords(text, []string{Russian, Ukrainian}, Russian)
+	case "latin":
+		return detectByStopwords(text,
+			[]string{English, French, German, Spanish, Portuguese, Czech, Slovak}, English)
+	default:
+		return Unknown
+	}
+}
+
+func scriptCounts(text string) map[string]int {
+	counts := make(map[string]int)
+	for _, r := range text {
+		switch {
+		case unicode.Is(unicode.Latin, r):
+			counts["latin"]++
+		case unicode.Is(unicode.Cyrillic, r):
+			counts["cyrillic"]++
+		case unicode.Is(unicode.Arabic, r):
+			counts["arabic"]++
+		case unicode.Is(unicode.Thai, r):
+			counts["thai"]++
+		case unicode.Is(unicode.Greek, r):
+			counts["greek"]++
+		case unicode.Is(unicode.Hebrew, r):
+			counts["hebrew"]++
+		case unicode.Is(unicode.Hangul, r):
+			counts["hangul"]++
+		case unicode.Is(unicode.Hiragana, r) || unicode.Is(unicode.Katakana, r):
+			counts["kana"]++
+		case unicode.Is(unicode.Han, r):
+			counts["han"]++
+		case unicode.Is(unicode.Devanagari, r):
+			counts["devanagari"]++
+		}
+	}
+	return counts
+}
+
+func detectArabicFamily(text string) string {
+	persian := 0
+	for _, marker := range persianMarkers {
+		persian += strings.Count(text, string(marker))
+	}
+	arabic := 0
+	for _, marker := range arabicMarkers {
+		arabic += strings.Count(text, marker)
+	}
+	if persian > 0 && persian*2 >= arabic {
+		return Persian
+	}
+	return Arabic
+}
+
+func detectByStopwords(text string, candidates []string, fallback string) string {
+	words := tokenize(text)
+	if len(words) == 0 {
+		return fallback
+	}
+	best, bestScore := fallback, 0
+	for _, lang := range candidates {
+		score := 0
+		for _, sw := range stopwords[lang] {
+			score += words[sw]
+		}
+		if score > bestScore {
+			best, bestScore = lang, score
+		}
+	}
+	return best
+}
+
+func tokenize(text string) map[string]int {
+	words := make(map[string]int)
+	for _, w := range strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r)
+	}) {
+		words[w]++
+	}
+	return words
+}

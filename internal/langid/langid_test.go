@@ -1,0 +1,90 @@
+package langid
+
+import "testing"
+
+func TestDetectByScript(t *testing.T) {
+	cases := []struct {
+		text string
+		want string
+	}{
+		{"ยินดีต้อนรับสู่เว็บไซต์ของเรา", Thai},
+		{"Καλώς ήρθατε στον ιστότοπό μας", Greek},
+		{"ברוכים הבאים לאתר שלנו", Hebrew},
+		{"우리 웹사이트에 오신 것을 환영합니다", Korean},
+		{"ようこそ私たちのウェブサイトへ", Japanese},
+		{"欢迎来到我们的网站 内容 信息 服务", Chinese},
+		{"हमारी वेबसाइट में आपका स्वागत है", Hindi},
+	}
+	for _, c := range cases {
+		if got := Detect(c.text); got != c.want {
+			t.Errorf("Detect(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+func TestDetectPersianVsArabic(t *testing.T) {
+	// Persian with characteristic letters پ گ چ ژ.
+	persian := "به وبگاه ما خوش آمدید پیگیری گزارش چاپ ژورنال"
+	if got := Detect(persian); got != Persian {
+		t.Errorf("Persian detected as %q", got)
+	}
+	arabic := "مرحبا بكم في موقعنا المعلومات في الصفحة من الاخبار"
+	if got := Detect(arabic); got != Arabic {
+		t.Errorf("Arabic detected as %q", got)
+	}
+}
+
+func TestDetectCyrillic(t *testing.T) {
+	russian := "и в не на что это как его для по новости сайта"
+	if got := Detect(russian); got != Russian {
+		t.Errorf("Russian detected as %q", got)
+	}
+	ukrainian := "це сайт новин і в на що як його для по є та інформація"
+	if got := Detect(ukrainian); got != Ukrainian {
+		t.Errorf("Ukrainian detected as %q", got)
+	}
+}
+
+func TestDetectLatinLanguages(t *testing.T) {
+	cases := []struct {
+		text string
+		want string
+	}{
+		{"the news and the weather for you in the morning with that", English},
+		{"le site des nouvelles pour vous dans la France avec une page", French},
+		{"der die das und ist nicht mit für auf ein Nachrichten", German},
+		{"el sitio de las noticias es una para con por del que", Spanish},
+		{"o site das notícias é uma para com em do da não os", Portuguese},
+		{"je na se že to jsou ale jako podle byl zprávy", Czech},
+		{"je na sa že to sú ale ako podľa bol správy", Slovak},
+	}
+	for _, c := range cases {
+		if got := Detect(c.text); got != c.want {
+			t.Errorf("Detect(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+func TestDetectEdgeCases(t *testing.T) {
+	if got := Detect(""); got != Unknown {
+		t.Errorf("empty = %q", got)
+	}
+	if got := Detect("   \n\t "); got != Unknown {
+		t.Errorf("whitespace = %q", got)
+	}
+	if got := Detect("12345 !!! ???"); got != Unknown {
+		t.Errorf("symbols = %q", got)
+	}
+	// Latin text with no matching stopwords falls back to English.
+	if got := Detect("zzz qqq xxx"); got != English {
+		t.Errorf("no-stopword Latin = %q", got)
+	}
+}
+
+func TestDetectMixedPrefersDominantScript(t *testing.T) {
+	// Mostly Thai with a Latin brand name.
+	text := "Google ยินดีต้อนรับสู่เว็บไซต์ของเราเนื้อหาบริการข้อมูลข่าวสาร"
+	if got := Detect(text); got != Thai {
+		t.Errorf("mixed = %q, want th", got)
+	}
+}

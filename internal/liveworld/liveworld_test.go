@@ -1,0 +1,162 @@
+package liveworld
+
+import (
+	"crypto/tls"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/webdep/webdep/internal/dnswire"
+	"github.com/webdep/webdep/internal/resolver"
+	"github.com/webdep/webdep/internal/worldgen"
+)
+
+func smallWorld(t *testing.T) *worldgen.World {
+	t.Helper()
+	w, err := worldgen.Build(worldgen.Config{
+		Seed:               17,
+		SitesPerCountry:    25,
+		Countries:          []string{"US"},
+		DomesticPerCountry: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestServeAndClose(t *testing.T) {
+	w := smallWorld(t)
+	ep, err := Serve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.DNSAddr == "" || ep.TLSAddr == "" {
+		t.Fatal("endpoints missing addresses")
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestDNSAnswersSites(t *testing.T) {
+	w := smallWorld(t)
+	ep, err := Serve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	client := resolver.NewClient(ep.DNSAddr)
+	site := w.Raw["US"][0]
+	addrs, err := client.LookupA(site.Domain)
+	if err != nil {
+		t.Fatalf("LookupA(%s): %v", site.Domain, err)
+	}
+	if len(addrs) != 1 || addrs[0] != site.HostIP {
+		t.Errorf("A = %v, want %v", addrs, site.HostIP)
+	}
+
+	// NS chain: the NS host must resolve to the site's NS IP.
+	nss, err := client.LookupNS(site.Domain)
+	if err != nil || len(nss) == 0 {
+		t.Fatalf("LookupNS: %v %v", nss, err)
+	}
+	nsAddrs, err := client.LookupA(nss[0])
+	if err != nil || len(nsAddrs) != 1 || nsAddrs[0] != site.NSIP {
+		t.Errorf("NS A = %v (%v), want %v", nsAddrs, err, site.NSIP)
+	}
+}
+
+func TestTLSPresentsSiteCertificate(t *testing.T) {
+	w := smallWorld(t)
+	ep, err := Serve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	site := w.Raw["US"][0]
+	dialer := &net.Dialer{Timeout: 2 * time.Second}
+	conn, err := tls.DialWithDialer(dialer, "tcp", ep.TLSAddr, &tls.Config{
+		ServerName:         site.Domain,
+		InsecureSkipVerify: true,
+		MinVersion:         tls.VersionTLS12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	leaf := conn.ConnectionState().PeerCertificates[0]
+	if leaf.Subject.CommonName != site.Domain {
+		t.Errorf("leaf CN = %q, want %q", leaf.Subject.CommonName, site.Domain)
+	}
+	if got := leaf.Issuer.Organization; len(got) != 1 || got[0] != site.IssuerOrg {
+		t.Errorf("issuer org = %v, want %q", got, site.IssuerOrg)
+	}
+}
+
+func TestCertificatesAreCached(t *testing.T) {
+	w := smallWorld(t)
+	iss, err := newIssuer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := w.Raw["US"][0]
+	hello := &tls.ClientHelloInfo{ServerName: site.Domain}
+	a, err := iss.certificateFor(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := iss.certificateFor(hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("certificate not cached between handshakes")
+	}
+}
+
+func TestUnknownSNIGetsFallbackCert(t *testing.T) {
+	w := smallWorld(t)
+	iss, err := newIssuer(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := iss.certificateFor(&tls.ClientHelloInfo{ServerName: "not-in-world.example"})
+	if err != nil || cert == nil {
+		t.Fatalf("fallback cert: %v %v", cert, err)
+	}
+	if cert.Leaf.Issuer.Organization[0] != "Unknown Issuer" {
+		t.Errorf("fallback issuer = %v", cert.Leaf.Issuer.Organization)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Cloudflare":           "cloudflare",
+		"Beget LLC":            "beget-llc",
+		"SuperHosting.BG":      "superhosting-bg",
+		"Neustar UltraDNS":     "neustar-ultradns",
+		"UAB Interneto vizija": "uab-interneto-vizija",
+		"!!!":                  "provider",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRefusesForeignZones(t *testing.T) {
+	w := smallWorld(t)
+	ep, err := Serve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	client := resolver.NewClient(ep.DNSAddr)
+	if _, err := client.Exchange("outside.nowhere", dnswire.TypeA); err != resolver.ErrRefused {
+		t.Errorf("foreign zone lookup: %v, want REFUSED", err)
+	}
+}

@@ -1,0 +1,87 @@
+package pfx2as
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadRoutes populates the route table from the CAIDA Routeviews
+// prefix2as text format: "prefix-address<TAB>prefix-length<TAB>asn" (or
+// whitespace-separated), e.g.
+//
+//	104.16.0.0	13	13335
+//
+// Multi-origin entries ("13335_4436" or "13335,4436") take the first ASN,
+// as the paper's pipeline does. Comments with '#' and blank lines are
+// ignored.
+func (t *Table) LoadRoutes(r io.Reader) (int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	n, line := 0, 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return n, fmt.Errorf("pfx2as: line %d: want addr length asn", line)
+		}
+		bits, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return n, fmt.Errorf("pfx2as: line %d: bad prefix length %q", line, fields[1])
+		}
+		asnField := fields[2]
+		if i := strings.IndexAny(asnField, "_,"); i >= 0 {
+			asnField = asnField[:i]
+		}
+		asn, err := strconv.Atoi(asnField)
+		if err != nil {
+			return n, fmt.Errorf("pfx2as: line %d: bad asn %q", line, fields[2])
+		}
+		cidr := fmt.Sprintf("%s/%d", fields[0], bits)
+		if err := t.AddRouteString(cidr, asn); err != nil {
+			return n, fmt.Errorf("pfx2as: line %d: %w", line, err)
+		}
+		n++
+	}
+	return n, scanner.Err()
+}
+
+// LoadOrgs populates the ASN→organization registry from a pipe-separated
+// text format echoing CAIDA's as2org: "asn|org name|country", e.g.
+//
+//	13335|Cloudflare|US
+func (t *Table) LoadOrgs(r io.Reader) (int, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 64*1024), 1024*1024)
+	n, line := 0, 0
+	for scanner.Scan() {
+		line++
+		text := strings.TrimSpace(scanner.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.Split(text, "|")
+		if len(parts) != 3 {
+			return n, fmt.Errorf("pfx2as: line %d: want asn|org|country", line)
+		}
+		asn, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return n, fmt.Errorf("pfx2as: line %d: bad asn %q", line, parts[0])
+		}
+		org := Org{
+			Name:    strings.TrimSpace(parts[1]),
+			Country: strings.ToUpper(strings.TrimSpace(parts[2])),
+		}
+		if err := t.RegisterOrg(asn, org); err != nil {
+			return n, fmt.Errorf("pfx2as: line %d: %w", line, err)
+		}
+		n++
+	}
+	return n, scanner.Err()
+}

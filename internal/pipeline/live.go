@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"bufio"
+	"crypto/tls"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/langid"
+	"github.com/webdep/webdep/internal/resolver"
+	"github.com/webdep/webdep/internal/tldinfo"
+	"github.com/webdep/webdep/internal/tlsscan"
+)
+
+// Live crawls a served world over real sockets: DNS resolution through the
+// resolver client, TLS handshakes and page fetches against the world's
+// HTTPS endpoint, then the same database joins as the fast pipeline.
+type Live struct {
+	// Pipeline supplies the enrichment databases.
+	*Pipeline
+	// DNS queries the world's authoritative server.
+	DNS *resolver.Client
+	// Scanner performs TLS handshakes and CA-owner labeling.
+	Scanner *tlsscan.Scanner
+	// TLSAddr is the world's HTTPS endpoint; sites are selected via SNI.
+	TLSAddr string
+	// Workers bounds crawl concurrency (default 8).
+	Workers int
+	// DetectLanguage additionally fetches each site's page and runs
+	// language identification on the body.
+	DetectLanguage bool
+}
+
+// CrawlCountry measures one country's domains end-to-end. Per-domain
+// failures leave the affected fields empty rather than failing the crawl.
+func (l *Live) CrawlCountry(cc, epoch string, domains []string) (*dataset.CountryList, error) {
+	if l.DNS == nil || l.Scanner == nil {
+		return nil, fmt.Errorf("pipeline: live crawl needs DNS client and TLS scanner")
+	}
+	workers := l.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	sites := make([]dataset.Website, len(domains))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				sites[idx] = l.crawlOne(cc, domains[idx], idx+1)
+			}
+		}()
+	}
+	for i := range domains {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return &dataset.CountryList{Country: cc, Epoch: epoch, Sites: sites}, nil
+}
+
+func (l *Live) crawlOne(cc, domain string, rank int) dataset.Website {
+	w := dataset.Website{
+		Domain:  domain,
+		Country: cc,
+		Rank:    rank,
+		TLD:     tldinfo.Extract(domain),
+	}
+
+	// Hosting: A lookup, then geo/AS/anycast joins on the first address.
+	if addrs, err := l.DNS.LookupA(domain); err == nil && len(addrs) > 0 {
+		l.annotateHost(&w, addrs[0])
+	}
+
+	// DNS infrastructure: NS lookup, using volunteered glue when present
+	// and falling back to an explicit A lookup for the nameserver host.
+	if nss, glue, err := l.DNS.LookupNSGlued(domain); err == nil && len(nss) > 0 {
+		if addrs := glue[nss[0]]; len(addrs) > 0 {
+			l.annotateNS(&w, addrs[0])
+		} else if nsAddrs, err := l.DNS.LookupA(nss[0]); err == nil && len(nsAddrs) > 0 {
+			l.annotateNS(&w, nsAddrs[0])
+		}
+	}
+
+	// CA: real TLS handshake with SNI selecting the site.
+	if res, err := l.Scanner.Scan(l.TLSAddr, domain); err == nil {
+		w.CAOwner = res.CAOwner
+		w.CAOwnerCountry = res.CAOwnerCountry
+	}
+
+	if l.DetectLanguage {
+		if body, err := fetchBody(l.TLSAddr, domain); err == nil {
+			w.Language = langid.Detect(body)
+		}
+	}
+	return w
+}
+
+// fetchBody performs a minimal HTTPS GET against the endpoint with the
+// domain as SNI and Host, returning the response body.
+func fetchBody(addr, domain string) (string, error) {
+	dialer := &net.Dialer{Timeout: 3 * time.Second}
+	conn, err := tls.DialWithDialer(dialer, "tcp", addr, &tls.Config{
+		ServerName:         domain,
+		InsecureSkipVerify: true, // synthetic roots; CA labeling happens in the scanner
+		MinVersion:         tls.VersionTLS12,
+	})
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(3 * time.Second)); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", domain)
+	reader := bufio.NewReader(conn)
+	// Skip status line and headers.
+	if _, err := reader.ReadString('\n'); err != nil {
+		return "", err
+	}
+	for {
+		line, err := reader.ReadString('\n')
+		if err != nil {
+			return "", err
+		}
+		if strings.TrimSpace(line) == "" {
+			break
+		}
+	}
+	var body strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := reader.Read(buf)
+		body.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return body.String(), nil
+}

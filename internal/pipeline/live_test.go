@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"testing"
+
+	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/liveworld"
+	"github.com/webdep/webdep/internal/resolver"
+	"github.com/webdep/webdep/internal/tlsscan"
+	"github.com/webdep/webdep/internal/worldgen"
+)
+
+// TestLiveCrawlMatchesTruth is the toolkit's flagship integration test: a
+// small world is served over real UDP/TCP DNS and TLS, crawled end-to-end,
+// and the measured dataset must agree with the world's ground truth.
+func TestLiveCrawlMatchesTruth(t *testing.T) {
+	w, err := worldgen.Build(worldgen.Config{
+		Seed:               99,
+		SitesPerCountry:    60,
+		Countries:          []string{"TH", "CZ"},
+		DomesticPerCountry: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := liveworld.Serve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	live := &Live{
+		Pipeline:       FromWorld(w),
+		DNS:            resolver.NewClient(ep.DNSAddr),
+		Scanner:        tlsscan.New(w.Owners),
+		TLSAddr:        ep.TLSAddr,
+		Workers:        8,
+		DetectLanguage: true,
+	}
+
+	for _, cc := range []string{"TH", "CZ"} {
+		truth := w.Truth.Get(cc)
+		measured, err := live.CrawlCountry(cc, "2023-05", truth.Domains())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(measured.Sites) != len(truth.Sites) {
+			t.Fatalf("%s: crawled %d sites, want %d", cc, len(measured.Sites), len(truth.Sites))
+		}
+		for i := range truth.Sites {
+			ts, ms := &truth.Sites[i], &measured.Sites[i]
+			if ms.HostProvider != ts.HostProvider {
+				t.Errorf("%s %s: host provider %q, truth %q", cc, ts.Domain, ms.HostProvider, ts.HostProvider)
+			}
+			if ms.HostIP != ts.HostIP {
+				t.Errorf("%s %s: host IP %q, truth %q", cc, ts.Domain, ms.HostIP, ts.HostIP)
+			}
+			if ms.DNSProvider != ts.DNSProvider {
+				t.Errorf("%s %s: dns provider %q, truth %q", cc, ts.Domain, ms.DNSProvider, ts.DNSProvider)
+			}
+			if ms.CAOwner != ts.CAOwner {
+				t.Errorf("%s %s: CA owner %q, truth %q", cc, ts.Domain, ms.CAOwner, ts.CAOwner)
+			}
+			if ms.HostAnycast != ts.HostAnycast {
+				t.Errorf("%s %s: anycast %v, truth %v", cc, ts.Domain, ms.HostAnycast, ts.HostAnycast)
+			}
+			if ms.TLD != ts.TLD {
+				t.Errorf("%s %s: TLD %q, truth %q", cc, ts.Domain, ms.TLD, ts.TLD)
+			}
+		}
+
+		// Scores computed from the live crawl must match the paper targets
+		// as well as the fast path does (same distributions underneath).
+		c, _ := countries.ByCode(cc)
+		for _, layer := range []countries.Layer{countries.Hosting, countries.DNS, countries.CA} {
+			got := measured.Distribution(layer).Score()
+			want := c.PaperScore[layer]
+			if diff := got - want; diff > 0.06 || diff < -0.06 {
+				t.Errorf("%s %v: live score %v, paper %v", cc, layer, got, want)
+			}
+		}
+	}
+}
+
+func TestLiveLanguageDetection(t *testing.T) {
+	w, err := worldgen.Build(worldgen.Config{
+		Seed:               3,
+		SitesPerCountry:    30,
+		Countries:          []string{"TH"},
+		DomesticPerCountry: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := liveworld.Serve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	live := &Live{
+		Pipeline:       FromWorld(w),
+		DNS:            resolver.NewClient(ep.DNSAddr),
+		Scanner:        tlsscan.New(w.Owners),
+		TLSAddr:        ep.TLSAddr,
+		DetectLanguage: true,
+	}
+	truth := w.Truth.Get("TH")
+	measured, err := live.CrawlCountry("TH", "2023-05", truth.Domains())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 0
+	for i := range truth.Sites {
+		total++
+		if measured.Sites[i].Language == truth.Sites[i].Language {
+			agree++
+		}
+	}
+	if float64(agree)/float64(total) < 0.9 {
+		t.Errorf("live language detection agrees on %d/%d sites", agree, total)
+	}
+}
+
+func TestLiveCrawlRequiresClients(t *testing.T) {
+	live := &Live{Pipeline: &Pipeline{}}
+	if _, err := live.CrawlCountry("US", "x", []string{"a.com"}); err == nil {
+		t.Error("crawl without clients accepted")
+	}
+}

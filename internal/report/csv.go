@@ -1,0 +1,102 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"github.com/webdep/webdep/internal/analysis"
+	"github.com/webdep/webdep/internal/classify"
+	"github.com/webdep/webdep/internal/countries"
+)
+
+// Machine-readable companions to the text renderers, for downstream
+// plotting and analysis tools.
+
+// ScoresCSV writes per-country scores with the published values alongside:
+// rank, code, name, region, continent, value, paper value.
+func ScoresCSV(w io.Writer, rows []analysis.CountryScore, layer countries.Layer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "code", "name", "region", "continent", "score", "paper_score"}); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		c, _ := countries.ByCode(row.Code)
+		record := []string{
+			strconv.Itoa(i + 1), row.Code, row.Name, row.Region, row.Continent,
+			formatFloat(row.Value), formatFloat(c.PaperScore[layer]),
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// InsularityCSV writes per-country insularity values.
+func InsularityCSV(w io.Writer, rows []analysis.CountryScore) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rank", "code", "name", "insularity"}); err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if err := cw.Write([]string{strconv.Itoa(i + 1), row.Code, row.Name, formatFloat(row.Value)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ClassesCSV writes the provider classification: provider, usage,
+// endemicity ratio, peak, class, cluster.
+func ClassesCSV(w io.Writer, res *classify.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"provider", "usage", "endemicity_ratio", "peak", "class", "cluster"}); err != nil {
+		return err
+	}
+	for _, f := range res.Features {
+		record := []string{
+			f.Provider, formatFloat(f.Usage), formatFloat(f.EndemicityRatio),
+			formatFloat(f.Peak), string(f.Class), strconv.Itoa(f.Cluster),
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// DependenceCSV writes a Figure 8 matrix as subregion rows × target
+// columns.
+func DependenceCSV(w io.Writer, m *analysis.DependenceMatrix, targets []string) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"subregion"}, targets...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	regions := make([]string, 0, len(m.Shares))
+	for region := range m.Shares {
+		regions = append(regions, region)
+	}
+	sort.Strings(regions)
+	for _, region := range regions {
+		record := []string{region}
+		for _, target := range targets {
+			record = append(record, formatFloat(m.Shares[region][target]))
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%.6f", v)
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"github.com/webdep/webdep/internal/analysis"
+	"github.com/webdep/webdep/internal/classify"
+	"github.com/webdep/webdep/internal/countries"
+)
+
+func TestScoresCSV(t *testing.T) {
+	corpus := corpusForReport(t)
+	var buf bytes.Buffer
+	rows := analysis.SortedScores(corpus, countries.Hosting)
+	if err := ScoresCSV(&buf, rows, countries.Hosting); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1+len(rows) {
+		t.Fatalf("records = %d", len(records))
+	}
+	if records[0][0] != "rank" || records[0][6] != "paper_score" {
+		t.Errorf("header = %v", records[0])
+	}
+	// First data row is the most centralized country (TH in this subset).
+	if records[1][1] != "TH" {
+		t.Errorf("rank-1 country = %s", records[1][1])
+	}
+	if !strings.HasPrefix(records[1][6], "0.3548") {
+		t.Errorf("paper score = %s", records[1][6])
+	}
+}
+
+func TestInsularityCSV(t *testing.T) {
+	corpus := corpusForReport(t)
+	var buf bytes.Buffer
+	if err := InsularityCSV(&buf, analysis.SortedInsularity(corpus, countries.Hosting)); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if records[1][1] != "US" { // most insular
+		t.Errorf("rank-1 = %s", records[1][1])
+	}
+}
+
+func TestClassesCSV(t *testing.T) {
+	corpus := corpusForReport(t)
+	cls, err := classify.Layer(corpus, countries.Hosting, classify.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ClassesCSV(&buf, cls); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1+len(cls.Features) {
+		t.Fatalf("records = %d, features = %d", len(records), len(cls.Features))
+	}
+	if records[1][0] != "Cloudflare" || records[1][4] != "XL-GP" {
+		t.Errorf("first row = %v", records[1])
+	}
+}
+
+func TestDependenceCSV(t *testing.T) {
+	corpus := corpusForReport(t)
+	m := analysis.ContinentDependence(corpus, analysis.ByProviderHQ)
+	var buf bytes.Buffer
+	targets := []string{"NA", "EU", "AS"}
+	if err := DependenceCSV(&buf, m, targets); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 2 || len(records[0]) != 4 {
+		t.Fatalf("shape = %dx%d", len(records), len(records[0]))
+	}
+}

@@ -1,0 +1,164 @@
+package resolver
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/webdep/webdep/internal/dnswire"
+)
+
+// CachingClient wraps a Client with a TTL-respecting positive/negative
+// answer cache, the behavior a measurement crawl relies on when the same
+// nameserver host backs thousands of domains (every site on a large DNS
+// provider shares its NS host, so caching its A record collapses the
+// crawl's query volume).
+type CachingClient struct {
+	// Client performs cache-miss lookups.
+	Client *Client
+	// MaxTTL caps how long any record is cached regardless of its TTL
+	// (default 5 minutes). NegativeTTL bounds NXDOMAIN caching (default
+	// 30s).
+	MaxTTL      time.Duration
+	NegativeTTL time.Duration
+
+	// now is the clock, replaceable in tests.
+	now func() time.Time
+
+	mu      sync.Mutex
+	entries map[cacheKey]*cacheEntry
+
+	hits, misses uint64
+}
+
+type cacheKey struct {
+	name  string
+	qtype uint16
+}
+
+type cacheEntry struct {
+	addrs   []netip.Addr
+	targets []string
+	err     error
+	expires time.Time
+}
+
+// NewCachingClient wraps a client with an empty cache.
+func NewCachingClient(c *Client) *CachingClient {
+	return &CachingClient{
+		Client:      c,
+		MaxTTL:      5 * time.Minute,
+		NegativeTTL: 30 * time.Second,
+		now:         time.Now,
+		entries:     map[cacheKey]*cacheEntry{},
+	}
+}
+
+// Stats reports cache hits and misses so far.
+func (c *CachingClient) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// LookupA resolves a name's IPv4 addresses through the cache.
+func (c *CachingClient) LookupA(name string) ([]netip.Addr, error) {
+	entry, ok := c.get(name, dnswire.TypeA)
+	if ok {
+		return entry.addrs, entry.err
+	}
+	resp, err := c.Client.Exchange(name, dnswire.TypeA)
+	var addrs []netip.Addr
+	minTTL := c.maxTTLOr(0)
+	if resp != nil {
+		for _, r := range resp.Answers {
+			if r.Type == dnswire.TypeA {
+				addrs = append(addrs, r.Addr)
+				if ttl := time.Duration(r.TTL) * time.Second; ttl < minTTL {
+					minTTL = ttl
+				}
+			}
+		}
+	}
+	c.put(name, dnswire.TypeA, &cacheEntry{addrs: addrs, err: err}, minTTL, err)
+	return addrs, err
+}
+
+// LookupNS resolves a name's NS targets through the cache.
+func (c *CachingClient) LookupNS(name string) ([]string, error) {
+	entry, ok := c.get(name, dnswire.TypeNS)
+	if ok {
+		return entry.targets, entry.err
+	}
+	resp, err := c.Client.Exchange(name, dnswire.TypeNS)
+	var targets []string
+	minTTL := c.maxTTLOr(0)
+	if resp != nil {
+		for _, r := range resp.Answers {
+			if r.Type == dnswire.TypeNS {
+				targets = append(targets, r.Target)
+				if ttl := time.Duration(r.TTL) * time.Second; ttl < minTTL {
+					minTTL = ttl
+				}
+			}
+		}
+	}
+	c.put(name, dnswire.TypeNS, &cacheEntry{targets: targets, err: err}, minTTL, err)
+	return targets, err
+}
+
+func (c *CachingClient) maxTTLOr(def time.Duration) time.Duration {
+	if c.MaxTTL > 0 {
+		return c.MaxTTL
+	}
+	if def > 0 {
+		return def
+	}
+	return 5 * time.Minute
+}
+
+func (c *CachingClient) get(name string, qtype uint16) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entry, ok := c.entries[cacheKey{name, qtype}]
+	if !ok || c.clock().After(entry.expires) {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return entry, true
+}
+
+func (c *CachingClient) put(name string, qtype uint16, entry *cacheEntry, ttl time.Duration, err error) {
+	// Only cache clean answers and NXDOMAINs; transport errors and
+	// SERVFAILs must retry.
+	if err != nil && err != ErrNXDomain {
+		return
+	}
+	if err == ErrNXDomain {
+		ttl = c.negativeTTL()
+	} else if maxTTL := c.maxTTLOr(0); ttl <= 0 || ttl > maxTTL {
+		ttl = maxTTL
+	}
+	entry.expires = c.clock().Add(ttl)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = map[cacheKey]*cacheEntry{}
+	}
+	c.entries[cacheKey{name, qtype}] = entry
+}
+
+func (c *CachingClient) negativeTTL() time.Duration {
+	if c.NegativeTTL > 0 {
+		return c.NegativeTTL
+	}
+	return 30 * time.Second
+}
+
+func (c *CachingClient) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}

@@ -1,0 +1,181 @@
+package resolver
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"github.com/webdep/webdep/internal/dnsserver"
+	"github.com/webdep/webdep/internal/dnswire"
+)
+
+func startCacheWorld(t *testing.T) (string, *dnsserver.Server) {
+	t.Helper()
+	z := dnsserver.NewZone("cache.test")
+	add := func(r dnswire.Record) {
+		t.Helper()
+		if err := z.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(dnswire.Record{Name: "cache.test", Type: dnswire.TypeSOA, SOA: &dnswire.SOAData{
+		MName: "ns1.cache.test", RName: "admin.cache.test", Serial: 1,
+	}})
+	add(dnswire.Record{Name: "a.cache.test", Type: dnswire.TypeA, TTL: 300,
+		Addr: netip.MustParseAddr("192.0.2.1")})
+	add(dnswire.Record{Name: "short.cache.test", Type: dnswire.TypeA, TTL: 1,
+		Addr: netip.MustParseAddr("192.0.2.2")})
+	add(dnswire.Record{Name: "a.cache.test", Type: dnswire.TypeNS, TTL: 300,
+		Target: "ns1.cache.test"})
+
+	s := dnsserver.NewServer(nil)
+	s.AddZone(z)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return addr.String(), s
+}
+
+func TestCacheHitsAvoidQueries(t *testing.T) {
+	addr, srv := startCacheWorld(t)
+	cc := NewCachingClient(NewClient(addr))
+
+	for i := 0; i < 5; i++ {
+		addrs, err := cc.LookupA("a.cache.test")
+		if err != nil || len(addrs) != 1 {
+			t.Fatalf("lookup %d: %v %v", i, addrs, err)
+		}
+	}
+	if q := srv.Queries(); q != 1 {
+		t.Errorf("server saw %d queries, want 1", q)
+	}
+	hits, misses := cc.Stats()
+	if hits != 4 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d", hits, misses)
+	}
+}
+
+func TestCacheRespectsTTL(t *testing.T) {
+	addr, srv := startCacheWorld(t)
+	cc := NewCachingClient(NewClient(addr))
+	current := time.Unix(1000, 0)
+	cc.now = func() time.Time { return current }
+
+	if _, err := cc.LookupA("short.cache.test"); err != nil {
+		t.Fatal(err)
+	}
+	// Within the 1s TTL: cached.
+	current = current.Add(500 * time.Millisecond)
+	if _, err := cc.LookupA("short.cache.test"); err != nil {
+		t.Fatal(err)
+	}
+	if q := srv.Queries(); q != 1 {
+		t.Fatalf("queries = %d before expiry", q)
+	}
+	// Past the TTL: refetched.
+	current = current.Add(2 * time.Second)
+	if _, err := cc.LookupA("short.cache.test"); err != nil {
+		t.Fatal(err)
+	}
+	if q := srv.Queries(); q != 2 {
+		t.Errorf("queries = %d after expiry, want 2", q)
+	}
+}
+
+func TestCacheCapsTTL(t *testing.T) {
+	addr, srv := startCacheWorld(t)
+	cc := NewCachingClient(NewClient(addr))
+	cc.MaxTTL = 10 * time.Second
+	current := time.Unix(1000, 0)
+	cc.now = func() time.Time { return current }
+
+	// a.cache.test has TTL 300s but MaxTTL caps it at 10s.
+	if _, err := cc.LookupA("a.cache.test"); err != nil {
+		t.Fatal(err)
+	}
+	current = current.Add(11 * time.Second)
+	if _, err := cc.LookupA("a.cache.test"); err != nil {
+		t.Fatal(err)
+	}
+	if q := srv.Queries(); q != 2 {
+		t.Errorf("queries = %d, want refetch after MaxTTL", q)
+	}
+}
+
+func TestNegativeCaching(t *testing.T) {
+	addr, srv := startCacheWorld(t)
+	cc := NewCachingClient(NewClient(addr))
+	for i := 0; i < 3; i++ {
+		if _, err := cc.LookupA("missing.cache.test"); !errors.Is(err, ErrNXDomain) {
+			t.Fatalf("lookup %d err = %v", i, err)
+		}
+	}
+	if q := srv.Queries(); q != 1 {
+		t.Errorf("NXDOMAIN queried %d times, want 1 (negative cache)", q)
+	}
+}
+
+func TestTransportErrorsNotCached(t *testing.T) {
+	cc := NewCachingClient(NewClient("127.0.0.1:1"))
+	cc.Client.Timeout = 100 * time.Millisecond
+	cc.Client.Retries = 0
+	if _, err := cc.LookupA("x.test"); err == nil {
+		t.Fatal("lookup against closed port succeeded")
+	}
+	// The failure must not be served from cache.
+	if _, err := cc.LookupA("x.test"); err == nil {
+		t.Fatal("second lookup succeeded")
+	}
+	hits, _ := cc.Stats()
+	if hits != 0 {
+		t.Errorf("transport errors served from cache (%d hits)", hits)
+	}
+}
+
+func TestCacheNS(t *testing.T) {
+	addr, srv := startCacheWorld(t)
+	cc := NewCachingClient(NewClient(addr))
+	for i := 0; i < 3; i++ {
+		ns, err := cc.LookupNS("a.cache.test")
+		if err != nil || len(ns) != 1 || ns[0] != "ns1.cache.test" {
+			t.Fatalf("NS lookup: %v %v", ns, err)
+		}
+	}
+	if q := srv.Queries(); q != 1 {
+		t.Errorf("NS queried %d times", q)
+	}
+}
+
+// TestRetriesThroughLossyPath injects datagram loss between the client and
+// server via a dropping UDP proxy and verifies the resolver's retry loop
+// recovers.
+func TestRetriesThroughLossyPath(t *testing.T) {
+	addr, _ := startCacheWorld(t)
+	proxy := startLossyUDPProxy(t, addr, 2) // drop the first two datagrams
+
+	c := NewClient(proxy)
+	c.Timeout = 300 * time.Millisecond
+	c.Retries = 3
+	addrs, err := c.LookupA("a.cache.test")
+	if err != nil {
+		t.Fatalf("lookup through lossy path: %v", err)
+	}
+	if len(addrs) != 1 || addrs[0] != netip.MustParseAddr("192.0.2.1") {
+		t.Errorf("addrs = %v", addrs)
+	}
+}
+
+func TestLossBeyondRetriesFails(t *testing.T) {
+	addr, _ := startCacheWorld(t)
+	proxy := startLossyUDPProxy(t, addr, 1000) // drop everything
+
+	c := NewClient(proxy)
+	c.Timeout = 150 * time.Millisecond
+	c.Retries = 1
+	if _, err := c.LookupA("a.cache.test"); !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}

@@ -1,0 +1,116 @@
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"github.com/webdep/webdep/internal/dnswire"
+)
+
+// Iterative walks the authoritative hierarchy the way a full resolver
+// does: ask a root-level server, follow referrals (authority NS plus glue)
+// down the zone cuts, and return the leaf answer. This is the measurement
+// mode that observes *which* authoritative infrastructure serves each zone,
+// rather than trusting one server for everything.
+type Iterative struct {
+	// Root is the "host:port" of the root-hint server.
+	Root string
+	// Client performs the individual exchanges; its Server field is
+	// ignored (each hop targets the referred server). Nil gets defaults.
+	Client *Client
+	// ServerAddr maps a nameserver's glue address to the "host:port" to
+	// dial. Nil dials "addr:53", the real-world behavior; test harnesses
+	// map synthetic glue addresses onto loopback listeners.
+	ServerAddr func(netip.Addr) string
+	// MaxReferrals bounds the referral chain (default 12).
+	MaxReferrals int
+}
+
+// ErrReferralLoop is returned when the referral chain exceeds the bound.
+var ErrReferralLoop = errors.New("resolver: referral chain too long")
+
+// ErrLameDelegation is returned when a referral carries no usable
+// nameserver address.
+var ErrLameDelegation = errors.New("resolver: referral without resolvable nameserver")
+
+func (it *Iterative) client() *Client {
+	if it.Client != nil {
+		return it.Client
+	}
+	it.Client = NewClient("")
+	return it.Client
+}
+
+func (it *Iterative) serverAddr(a netip.Addr) string {
+	if it.ServerAddr != nil {
+		return it.ServerAddr(a)
+	}
+	return fmt.Sprintf("%s:53", a)
+}
+
+// Resolve iteratively resolves (name, qtype), returning the final
+// authoritative response and the chain of server addresses consulted.
+func (it *Iterative) Resolve(name string, qtype uint16) (*dnswire.Message, []string, error) {
+	maxHops := it.MaxReferrals
+	if maxHops <= 0 {
+		maxHops = 12
+	}
+	c := it.client()
+	server := it.Root
+	var chain []string
+	for hop := 0; hop <= maxHops; hop++ {
+		chain = append(chain, server)
+		hopClient := &Client{Server: server, Timeout: c.Timeout, Retries: c.Retries}
+		resp, err := hopClient.Exchange(name, qtype)
+		if err != nil {
+			return resp, chain, err
+		}
+		// Authoritative answer (or authoritative NODATA): done.
+		if resp.Header.AA || len(resp.Answers) > 0 {
+			return resp, chain, nil
+		}
+		// Referral: pick a nameserver we can address, preferring glue.
+		next := it.nextServer(resp)
+		if next == "" {
+			return resp, chain, ErrLameDelegation
+		}
+		server = next
+	}
+	return nil, chain, ErrReferralLoop
+}
+
+// nextServer selects the next hop from a referral, using glue from the
+// additional section.
+func (it *Iterative) nextServer(resp *dnswire.Message) string {
+	glue := map[string][]netip.Addr{}
+	for _, r := range resp.Additionals {
+		if r.Type == dnswire.TypeA || r.Type == dnswire.TypeAAAA {
+			glue[r.Name] = append(glue[r.Name], r.Addr)
+		}
+	}
+	for _, r := range resp.Authorities {
+		if r.Type != dnswire.TypeNS {
+			continue
+		}
+		if addrs := glue[r.Target]; len(addrs) > 0 {
+			return it.serverAddr(addrs[0])
+		}
+	}
+	return ""
+}
+
+// LookupA iteratively resolves a name's IPv4 addresses.
+func (it *Iterative) LookupA(name string) ([]netip.Addr, []string, error) {
+	resp, chain, err := it.Resolve(name, dnswire.TypeA)
+	if err != nil {
+		return nil, chain, err
+	}
+	var out []netip.Addr
+	for _, r := range resp.Answers {
+		if r.Type == dnswire.TypeA {
+			out = append(out, r.Addr)
+		}
+	}
+	return out, chain, nil
+}

@@ -1,0 +1,153 @@
+package resolver
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+
+	"github.com/webdep/webdep/internal/dnsserver"
+	"github.com/webdep/webdep/internal/dnswire"
+)
+
+// startHierarchy runs a two-level authoritative hierarchy on loopback:
+// a parent server for "test" that delegates "example.test", and a child
+// server authoritative for "example.test". Returns the parent address and
+// the glue→listener mapping.
+func startHierarchy(t *testing.T) (rootAddr string, serverAddr func(netip.Addr) string) {
+	t.Helper()
+
+	childGlue := netip.MustParseAddr("198.51.100.53")
+
+	child := dnsserver.NewZone("example.test")
+	mustZoneAdd(t, child, dnswire.Record{Name: "example.test", Type: dnswire.TypeSOA,
+		SOA: &dnswire.SOAData{MName: "ns1.example.test", RName: "admin.example.test", Serial: 1}})
+	mustZoneAdd(t, child, dnswire.Record{Name: "www.example.test", Type: dnswire.TypeA, TTL: 60,
+		Addr: netip.MustParseAddr("203.0.113.80")})
+	childSrv := dnsserver.NewServer(nil)
+	childSrv.AddZone(child)
+	childNet, err := childSrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { childSrv.Close() })
+
+	parent := dnsserver.NewZone("test")
+	mustZoneAdd(t, parent, dnswire.Record{Name: "test", Type: dnswire.TypeSOA,
+		SOA: &dnswire.SOAData{MName: "ns1.test", RName: "admin.test", Serial: 1}})
+	// Delegation with glue.
+	mustZoneAdd(t, parent, dnswire.Record{Name: "example.test", Type: dnswire.TypeNS, TTL: 300,
+		Target: "ns1.example.test"})
+	mustZoneAdd(t, parent, dnswire.Record{Name: "ns1.example.test", Type: dnswire.TypeA, TTL: 300,
+		Addr: childGlue})
+	// A lame delegation with no glue anywhere.
+	mustZoneAdd(t, parent, dnswire.Record{Name: "lame.test", Type: dnswire.TypeNS, TTL: 300,
+		Target: "ns1.nowhere.invalid"})
+	parentSrv := dnsserver.NewServer(nil)
+	parentSrv.AddZone(parent)
+	parentNet, err := parentSrv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { parentSrv.Close() })
+
+	addrFor := func(a netip.Addr) string {
+		if a == childGlue {
+			return childNet.String()
+		}
+		return "127.0.0.1:1" // nothing there
+	}
+	return parentNet.String(), addrFor
+}
+
+func mustZoneAdd(t *testing.T, z *dnsserver.Zone, r dnswire.Record) {
+	t.Helper()
+	if err := z.Add(r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIterativeFollowsReferral(t *testing.T) {
+	root, addrFor := startHierarchy(t)
+	it := &Iterative{Root: root, ServerAddr: addrFor}
+	addrs, chain, err := it.LookupA("www.example.test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != netip.MustParseAddr("203.0.113.80") {
+		t.Errorf("addrs = %v", addrs)
+	}
+	if len(chain) != 2 {
+		t.Errorf("chain = %v, want parent then child", chain)
+	}
+}
+
+func TestParentAnswersReferral(t *testing.T) {
+	// Querying the parent directly shows the referral mechanics: no
+	// answer, authority NS, glue A, AA clear.
+	root, _ := startHierarchy(t)
+	c := NewClient(root)
+	resp, err := c.Exchange("www.example.test", dnswire.TypeA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.AA {
+		t.Error("referral marked authoritative")
+	}
+	if len(resp.Answers) != 0 {
+		t.Errorf("referral carries answers: %+v", resp.Answers)
+	}
+	if len(resp.Authorities) != 1 || resp.Authorities[0].Target != "ns1.example.test" {
+		t.Errorf("authorities = %+v", resp.Authorities)
+	}
+	if len(resp.Additionals) != 1 || resp.Additionals[0].Addr != netip.MustParseAddr("198.51.100.53") {
+		t.Errorf("glue = %+v", resp.Additionals)
+	}
+}
+
+func TestIterativeLameDelegation(t *testing.T) {
+	root, addrFor := startHierarchy(t)
+	it := &Iterative{Root: root, ServerAddr: addrFor}
+	_, _, err := it.LookupA("www.lame.test")
+	if !errors.Is(err, ErrLameDelegation) {
+		t.Errorf("err = %v, want ErrLameDelegation", err)
+	}
+}
+
+func TestIterativeNXDomainAtParent(t *testing.T) {
+	root, addrFor := startHierarchy(t)
+	it := &Iterative{Root: root, ServerAddr: addrFor}
+	resp, _, err := it.Resolve("missing.test", dnswire.TypeA)
+	if !errors.Is(err, ErrNXDomain) {
+		t.Errorf("err = %v (resp %+v)", err, resp)
+	}
+}
+
+func TestIterativeReferralBound(t *testing.T) {
+	// Two zones delegating to each other's cut would loop; the hop bound
+	// must stop it. Build a parent whose delegation glue points back at
+	// itself.
+	z := dnsserver.NewZone("loopy")
+	glue := netip.MustParseAddr("192.0.2.99")
+	mustZoneAdd(t, z, dnswire.Record{Name: "sub.loopy", Type: dnswire.TypeNS, Target: "ns1.sub.loopy"})
+	mustZoneAdd(t, z, dnswire.Record{Name: "ns1.sub.loopy", Type: dnswire.TypeA, Addr: glue})
+	srv := dnsserver.NewServer(nil)
+	srv.AddZone(z)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	it := &Iterative{
+		Root:         addr.String(),
+		MaxReferrals: 3,
+		ServerAddr:   func(netip.Addr) string { return addr.String() }, // always back to itself
+	}
+	_, chain, err := it.LookupA("www.sub.loopy")
+	if !errors.Is(err, ErrReferralLoop) {
+		t.Errorf("err = %v (chain %v)", err, chain)
+	}
+	if len(chain) != 4 { // root + 3 referrals
+		t.Errorf("chain length = %d", len(chain))
+	}
+}

@@ -1,0 +1,66 @@
+package resolver
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startLossyUDPProxy forwards datagrams to upstream, dropping the first
+// dropCount inbound packets — a deterministic loss injector for retry
+// tests.
+func startLossyUDPProxy(t *testing.T, upstream string, dropCount int) string {
+	t.Helper()
+	upAddr, err := net.ResolveUDPAddr("udp", upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+
+	var mu sync.Mutex
+	dropped := 0
+
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, client, err := ln.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			drop := dropped < dropCount
+			if drop {
+				dropped++
+			}
+			mu.Unlock()
+			if drop {
+				continue
+			}
+			pkt := make([]byte, n)
+			copy(pkt, buf[:n])
+			go func(pkt []byte, client *net.UDPAddr) {
+				up, err := net.DialUDP("udp", nil, upAddr)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				if _, err := up.Write(pkt); err != nil {
+					return
+				}
+				up.SetReadDeadline(time.Now().Add(2 * time.Second))
+				resp := make([]byte, 4096)
+				rn, err := up.Read(resp)
+				if err != nil {
+					return
+				}
+				ln.WriteToUDP(resp[:rn], client)
+			}(pkt, client)
+		}
+	}()
+	return ln.LocalAddr().String()
+}

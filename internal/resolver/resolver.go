@@ -1,0 +1,287 @@
+// Package resolver is the toolkit's concurrent DNS lookup engine — the
+// ZDNS substitute. A Client performs single exchanges against an
+// authoritative server over UDP with retries and automatic TCP fallback on
+// truncation; a Pool fans lookups out across a bounded worker set, the way
+// the paper's measurement resolved 588K domains.
+package resolver
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"github.com/webdep/webdep/internal/dnswire"
+)
+
+// Errors surfaced by the resolver.
+var (
+	ErrTimeout    = errors.New("resolver: query timed out")
+	ErrIDMismatch = errors.New("resolver: response ID mismatch")
+	ErrServFail   = errors.New("resolver: SERVFAIL")
+	ErrNXDomain   = errors.New("resolver: NXDOMAIN")
+	ErrRefused    = errors.New("resolver: REFUSED")
+)
+
+// Client queries one DNS server. The zero value is unusable; fill Server.
+type Client struct {
+	// Server is the "host:port" of the authoritative server.
+	Server string
+	// Timeout bounds each network attempt. Default 2s.
+	Timeout time.Duration
+	// Retries is the number of additional UDP attempts after the first.
+	// Default 2.
+	Retries int
+
+	// rng guards query-ID generation.
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient returns a client with defaults suitable for LAN-local
+// authoritative servers.
+func NewClient(server string) *Client {
+	return &Client{
+		Server:  server,
+		Timeout: 2 * time.Second,
+		Retries: 2,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(c.rng.Intn(1 << 16))
+}
+
+// Exchange sends one query and returns the parsed response, retrying over
+// UDP and falling back to TCP when the answer is truncated. DNS-level
+// failures (NXDOMAIN, SERVFAIL, REFUSED) are returned as errors alongside
+// the response carrying the code.
+func (c *Client) Exchange(name string, qtype uint16) (*dnswire.Message, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	attempts := c.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := c.exchangeUDP(name, qtype, timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Header.TC {
+			resp, err = c.exchangeTCP(name, qtype, timeout)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		return resp, rcodeError(resp.Header.RCode)
+	}
+	if lastErr == nil {
+		lastErr = ErrTimeout
+	}
+	return nil, lastErr
+}
+
+func rcodeError(rcode uint8) error {
+	switch rcode {
+	case dnswire.RCodeNoError:
+		return nil
+	case dnswire.RCodeServFail:
+		return ErrServFail
+	case dnswire.RCodeNXDomain:
+		return ErrNXDomain
+	case dnswire.RCodeRefused:
+		return ErrRefused
+	default:
+		return fmt.Errorf("resolver: RCODE %d", rcode)
+	}
+}
+
+func (c *Client) exchangeUDP(name string, qtype uint16, timeout time.Duration) (*dnswire.Message, error) {
+	id := c.nextID()
+	query, err := dnswire.NewQuery(id, name, qtype).Pack()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("udp", c.Server, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(query); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil, ErrTimeout
+			}
+			return nil, err
+		}
+		resp, err := dnswire.Unpack(buf[:n])
+		if err != nil {
+			return nil, err
+		}
+		if resp.Header.ID != id {
+			// Stale or spoofed datagram on a connected UDP socket; keep
+			// waiting for the matching one until the deadline fires.
+			continue
+		}
+		return resp, nil
+	}
+}
+
+func (c *Client) exchangeTCP(name string, qtype uint16, timeout time.Duration) (*dnswire.Message, error) {
+	id := c.nextID()
+	query, err := dnswire.NewQuery(id, name, qtype).Pack()
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", c.Server, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	framed := make([]byte, 2+len(query))
+	framed[0] = byte(len(query) >> 8)
+	framed[1] = byte(len(query))
+	copy(framed[2:], query)
+	if _, err := conn.Write(framed); err != nil {
+		return nil, err
+	}
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	msg := make([]byte, int(lenBuf[0])<<8|int(lenBuf[1]))
+	if _, err := io.ReadFull(conn, msg); err != nil {
+		return nil, err
+	}
+	resp, err := dnswire.Unpack(msg)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.ID != id {
+		return nil, ErrIDMismatch
+	}
+	return resp, nil
+}
+
+// LookupA resolves a name to its IPv4 addresses, following CNAMEs included
+// in the answer section.
+func (c *Client) LookupA(name string) ([]netip.Addr, error) {
+	resp, err := c.Exchange(name, dnswire.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	var out []netip.Addr
+	for _, r := range resp.Answers {
+		if r.Type == dnswire.TypeA {
+			out = append(out, r.Addr)
+		}
+	}
+	return out, nil
+}
+
+// LookupNS resolves a name's authoritative nameservers.
+func (c *Client) LookupNS(name string) ([]string, error) {
+	targets, _, err := c.LookupNSGlued(name)
+	return targets, err
+}
+
+// LookupNSGlued resolves a name's authoritative nameservers and also
+// returns any glue addresses the server volunteered in the additional
+// section, keyed by nameserver host. Callers can skip the follow-up A
+// lookup for glued targets.
+func (c *Client) LookupNSGlued(name string) (targets []string, glue map[string][]netip.Addr, err error) {
+	resp, err := c.Exchange(name, dnswire.TypeNS)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range resp.Answers {
+		if r.Type == dnswire.TypeNS {
+			targets = append(targets, r.Target)
+		}
+	}
+	for _, r := range resp.Additionals {
+		if r.Type == dnswire.TypeA || r.Type == dnswire.TypeAAAA {
+			if glue == nil {
+				glue = make(map[string][]netip.Addr)
+			}
+			glue[r.Name] = append(glue[r.Name], r.Addr)
+		}
+	}
+	return targets, glue, nil
+}
+
+// Result is the outcome of one pooled lookup.
+type Result struct {
+	Domain string
+	Addrs  []netip.Addr
+	NS     []string
+	Err    error
+}
+
+// Pool performs bulk A+NS resolution with bounded concurrency.
+type Pool struct {
+	Client  *Client
+	Workers int // default 16
+}
+
+// ResolveAll looks up A and NS records for every domain, preserving input
+// order in the returned slice. Individual failures are reported per-result,
+// not as an overall error — a crawl keeps going when single domains fail.
+func (p *Pool) ResolveAll(domains []string) []Result {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = 16
+	}
+	results := make([]Result, len(domains))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				domain := domains[i]
+				res := Result{Domain: domain}
+				res.Addrs, res.Err = p.Client.LookupA(domain)
+				if res.Err == nil {
+					res.NS, _ = p.Client.LookupNS(domain)
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range domains {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

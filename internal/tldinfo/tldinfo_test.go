@@ -1,0 +1,108 @@
+package tldinfo
+
+import (
+	"testing"
+
+	"github.com/webdep/webdep/internal/countries"
+)
+
+func TestStudyCodesMatchCountriesPackage(t *testing.T) {
+	want := countries.Codes()
+	if len(studyCountryCodes) != len(want) {
+		t.Fatalf("tldinfo has %d codes, countries has %d", len(studyCountryCodes), len(want))
+	}
+	for i, code := range want {
+		if studyCountryCodes[i] != code {
+			t.Fatalf("code %d: %q vs %q", i, studyCountryCodes[i], code)
+		}
+	}
+}
+
+func TestExtract(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"example.com", "com"},
+		{"example.co.th", "th"},
+		{"EXAMPLE.RU", "ru"},
+		{"example.com.", "com"},
+		{"  example.io ", "io"},
+		{"localhost", "localhost"},
+		{"", ""},
+		{".", ""},
+	}
+	for _, c := range cases {
+		if got := Extract(c.in); got != c.want {
+			t.Errorf("Extract(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCCTLDFor(t *testing.T) {
+	if got := CCTLDFor("RU"); got != "ru" {
+		t.Errorf("RU → %q", got)
+	}
+	if got := CCTLDFor("GB"); got != "uk" {
+		t.Errorf("GB → %q, want uk", got)
+	}
+	if got := CCTLDFor("us"); got != "us" {
+		t.Errorf("lowercase input: %q", got)
+	}
+}
+
+func TestCountryForCCTLD(t *testing.T) {
+	if got := CountryForCCTLD("uk"); got != "GB" {
+		t.Errorf("uk → %q", got)
+	}
+	if got := CountryForCCTLD("TH"); got != "TH" {
+		t.Errorf("th → %q", got)
+	}
+	if got := CountryForCCTLD("com"); got != "" {
+		t.Errorf("com → %q, want empty", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		tld, country string
+		want         Kind
+	}{
+		{"com", "US", Com},
+		{"com", "TH", Com},
+		{"org", "US", GlobalTLD},
+		{"io", "DE", GlobalTLD},
+		{"newgtld", "DE", GlobalTLD}, // unknown → global
+		{"th", "TH", LocalCC},
+		{"ru", "KG", ExternalCC}, // CIS on .ru
+		{"fr", "SN", ExternalCC}, // former colony on .fr
+		{"uk", "GB", LocalCC},
+		{"de", "AT", ExternalCC},
+	}
+	for _, c := range cases {
+		if got := Classify(c.tld, c.country); got != c.want {
+			t.Errorf("Classify(%q, %q) = %v, want %v", c.tld, c.country, got, c.want)
+		}
+	}
+}
+
+func TestInsularTo(t *testing.T) {
+	if got := InsularTo("com"); got != "US" {
+		t.Errorf("com insular to %q, want US", got)
+	}
+	if got := InsularTo("ru"); got != "RU" {
+		t.Errorf("ru insular to %q", got)
+	}
+	if got := InsularTo("org"); got != "" {
+		t.Errorf("org insular to %q, want none", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Com.String() != "com" || GlobalTLD.String() != "Global TLDs" ||
+		LocalCC.String() != "Local ccTLD" || ExternalCC.String() != "External ccTLDs" {
+		t.Error("Kind labels wrong")
+	}
+	if Kind(42).String() != "unknown" {
+		t.Error("unknown kind label wrong")
+	}
+}

@@ -1,0 +1,107 @@
+// Package tlsscan performs TLS handshakes against web servers and labels
+// the CA ownership of the leaf certificates they present — the ZGrab2 +
+// CCADB step of the paper's pipeline, run against the toolkit's in-process
+// HTTPS endpoints.
+package tlsscan
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/webdep/webdep/internal/capki"
+)
+
+// Result is the outcome of one TLS scan.
+type Result struct {
+	// Leaf is the server's end-entity certificate.
+	Leaf *x509.Certificate
+	// CAOwner and CAOwnerCountry identify the owner of the issuing CA per
+	// the owner database; empty when the issuer is unknown.
+	CAOwner        string
+	CAOwnerCountry string
+	// Version and CipherSuite describe the negotiated session.
+	Version     uint16
+	CipherSuite uint16
+}
+
+// ErrNoCertificate is returned when the handshake completes without a peer
+// certificate (cannot happen with standard TLS servers, kept for safety).
+var ErrNoCertificate = errors.New("tlsscan: no peer certificate")
+
+// Scanner dials servers and records their certificate chain. The zero
+// value is unusable; construct with New.
+type Scanner struct {
+	// Owners resolves issuers to CA owners. Optional; when nil, results
+	// carry an empty owner.
+	Owners *capki.OwnerDB
+	// Timeout bounds dial + handshake. Default 3s.
+	Timeout time.Duration
+	// Roots optionally verifies chains against a trust store. When nil the
+	// scanner accepts any certificate (the paper labels what sites serve,
+	// not whether browsers would trust it).
+	Roots *x509.CertPool
+}
+
+// New returns a scanner using the given owner database.
+func New(owners *capki.OwnerDB) *Scanner {
+	return &Scanner{Owners: owners, Timeout: 3 * time.Second}
+}
+
+// Scan connects to addr ("host:port"), handshakes with the given SNI
+// serverName, and labels the leaf certificate's CA owner.
+func (s *Scanner) Scan(addr, serverName string) (*Result, error) {
+	timeout := s.Timeout
+	if timeout <= 0 {
+		timeout = 3 * time.Second
+	}
+	dialer := &net.Dialer{Timeout: timeout}
+	conf := &tls.Config{
+		ServerName: serverName,
+		// The measurement must observe whatever certificate the site
+		// serves, trusted or not; verification, when requested, happens
+		// explicitly below against the configured roots.
+		InsecureSkipVerify: true,
+		MinVersion:         tls.VersionTLS12,
+	}
+	conn, err := tls.DialWithDialer(dialer, "tcp", addr, conf)
+	if err != nil {
+		return nil, fmt.Errorf("tlsscan: %s (sni %s): %w", addr, serverName, err)
+	}
+	defer conn.Close()
+	state := conn.ConnectionState()
+	if len(state.PeerCertificates) == 0 {
+		return nil, ErrNoCertificate
+	}
+	leaf := state.PeerCertificates[0]
+
+	if s.Roots != nil {
+		inter := x509.NewCertPool()
+		for _, c := range state.PeerCertificates[1:] {
+			inter.AddCert(c)
+		}
+		if _, err := leaf.Verify(x509.VerifyOptions{
+			Roots:         s.Roots,
+			Intermediates: inter,
+			DNSName:       serverName,
+		}); err != nil {
+			return nil, fmt.Errorf("tlsscan: chain verification: %w", err)
+		}
+	}
+
+	res := &Result{
+		Leaf:        leaf,
+		Version:     state.Version,
+		CipherSuite: state.CipherSuite,
+	}
+	if s.Owners != nil {
+		if owner, ok := s.Owners.OwnerOf(leaf); ok {
+			res.CAOwner = owner.Name
+			res.CAOwnerCountry = owner.Country
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,185 @@
+package tlsscan
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/webdep/webdep/internal/capki"
+)
+
+// startTLSServer runs a minimal TLS listener presenting certs selected by
+// SNI, returning its address.
+func startTLSServer(t *testing.T, certs map[string]tls.Certificate) string {
+	t.Helper()
+	conf := &tls.Config{
+		GetCertificate: func(hello *tls.ClientHelloInfo) (*tls.Certificate, error) {
+			if c, ok := certs[hello.ServerName]; ok {
+				return &c, nil
+			}
+			// Default: first cert.
+			for _, c := range certs {
+				return &c, nil
+			}
+			return nil, nil
+		},
+		MinVersion: tls.VersionTLS12,
+	}
+	ln, err := tls.Listen("tcp", "127.0.0.1:0", conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				// Drive the handshake, then hold briefly.
+				if tc, ok := c.(*tls.Conn); ok {
+					tc.Handshake()
+				}
+				time.Sleep(50 * time.Millisecond)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestScanLabelsCAOwner(t *testing.T) {
+	le, err := capki.NewAuthority("Let's Encrypt", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	asseco, err := capki.NewAuthority("Asseco", "PL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	certLE, err := le.IssueLeaf("global.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	certAsseco, err := asseco.IssueLeaf("polish.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startTLSServer(t, map[string]tls.Certificate{
+		"global.example": certLE,
+		"polish.example": certAsseco,
+	})
+
+	db := capki.NewOwnerDB()
+	db.RegisterAuthority(le)
+	db.RegisterAuthority(asseco)
+	scanner := New(db)
+
+	res, err := scanner.Scan(addr, "global.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CAOwner != "Let's Encrypt" || res.CAOwnerCountry != "US" {
+		t.Errorf("owner = %q/%q", res.CAOwner, res.CAOwnerCountry)
+	}
+	if res.Leaf.Subject.CommonName != "global.example" {
+		t.Errorf("leaf CN = %q", res.Leaf.Subject.CommonName)
+	}
+	if res.Version < tls.VersionTLS12 {
+		t.Errorf("version = %x", res.Version)
+	}
+
+	res, err = scanner.Scan(addr, "polish.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CAOwner != "Asseco" || res.CAOwnerCountry != "PL" {
+		t.Errorf("owner = %q/%q", res.CAOwner, res.CAOwnerCountry)
+	}
+}
+
+func TestScanUnknownIssuerYieldsEmptyOwner(t *testing.T) {
+	rogue, err := capki.NewAuthority("Rogue CA", "ZZ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := rogue.IssueLeaf("rogue.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startTLSServer(t, map[string]tls.Certificate{"rogue.example": cert})
+	scanner := New(capki.NewOwnerDB()) // empty DB
+	res, err := scanner.Scan(addr, "rogue.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CAOwner != "" {
+		t.Errorf("owner = %q, want empty", res.CAOwner)
+	}
+}
+
+func TestScanWithRootVerification(t *testing.T) {
+	ca, err := capki.NewAuthority("DigiCert", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.IssueLeaf("secure.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startTLSServer(t, map[string]tls.Certificate{"secure.example": cert})
+
+	roots := x509.NewCertPool()
+	roots.AddCert(ca.Certificate())
+	db := capki.NewOwnerDB()
+	db.RegisterAuthority(ca)
+	scanner := New(db)
+	scanner.Roots = roots
+
+	if _, err := scanner.Scan(addr, "secure.example"); err != nil {
+		t.Errorf("verified scan failed: %v", err)
+	}
+
+	// A different trust store must reject the chain.
+	other, err := capki.NewAuthority("Other", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongRoots := x509.NewCertPool()
+	wrongRoots.AddCert(other.Certificate())
+	scanner.Roots = wrongRoots
+	if _, err := scanner.Scan(addr, "secure.example"); err == nil {
+		t.Error("scan verified against wrong root")
+	}
+}
+
+func TestScanConnectionRefused(t *testing.T) {
+	scanner := New(nil)
+	scanner.Timeout = 300 * time.Millisecond
+	if _, err := scanner.Scan("127.0.0.1:1", "x.example"); err == nil {
+		t.Error("scan of closed port succeeded")
+	}
+}
+
+func TestScanNilOwnerDB(t *testing.T) {
+	ca, err := capki.NewAuthority("X", "US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := ca.IssueLeaf("nodb.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := startTLSServer(t, map[string]tls.Certificate{"nodb.example": cert})
+	scanner := &Scanner{} // zero value + nil DB: must still scan
+	res, err := scanner.Scan(addr, "nodb.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CAOwner != "" || res.Leaf == nil {
+		t.Errorf("res = %+v", res)
+	}
+}

@@ -1,0 +1,254 @@
+package worldgen
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// Provider is one hosting/DNS organization in the synthetic world.
+type Provider struct {
+	// Name is the AS organization name, the identity the paper's metrics
+	// operate on.
+	Name string
+	// Country is the organization's H.Q. (ISO alpha-2, one of the study's
+	// 150 countries).
+	Country string
+	// ASNs originates the provider's prefix (most providers have one; a few
+	// large ones have two, matching real AS-to-Org data).
+	ASNs []int
+	// Prefix is the provider's /16 in the synthetic address plan.
+	Prefix netip.Prefix
+	// Anycast marks providers announcing their prefix from many sites.
+	Anycast bool
+	// OffersDNS marks providers usable as authoritative DNS operators.
+	OffersDNS bool
+	// DNSOnly marks managed-DNS operators that never appear as hosts
+	// (NSONE, UltraDNS).
+	DNSOnly bool
+	// Regional marks domestic/regional providers (ground-truth hint only;
+	// the classify package must rediscover this from the data).
+	Regional bool
+}
+
+// continentBucket maps a continent to the /19 carved out of each anycast
+// provider's /16 that geolocates there. Regional providers geolocate their
+// whole /16 to the H.Q. country instead.
+var continentBucket = map[string]int{
+	"NA": 0, "EU": 1, "AS": 2, "SA": 3, "AF": 4, "OC": 5,
+}
+
+// continentRepresentative is the country label used for anycast POPs on a
+// continent (geolocation country of the POP, not of the provider).
+var continentRepresentative = map[string]string{
+	"NA": "US", "EU": "DE", "AS": "SG", "SA": "BR", "AF": "ZA", "OC": "AU",
+}
+
+// globalHostingProviders is the fixed cast of global providers, mirroring
+// the classes in the paper's Table 1. Weights here are the *relative* base
+// weights within a country's global block before calibration.
+type namedWeight struct {
+	name    string
+	country string
+	weight  float64
+	anycast bool
+}
+
+var xlGlobal = []namedWeight{
+	{"Cloudflare", "US", 0.55, true},
+	{"Amazon", "US", 0.16, false},
+}
+
+var lGlobal = []namedWeight{
+	{"Google", "US", 0.055, true},
+	{"Akamai", "US", 0.045, true},
+	{"Microsoft", "US", 0.035, false},
+	{"Fastly", "US", 0.025, true},
+	{"GoDaddy", "US", 0.02, false},
+	{"DigitalOcean", "US", 0.02, false},
+}
+
+// Large global providers with a regional tilt (paper's "L-GP (R)" class).
+var lGlobalRegional = []namedWeight{
+	{"OVH", "FR", 0.022, false},
+	{"Hetzner", "DE", 0.018, false},
+}
+
+var mGlobal = []namedWeight{
+	{"Incapsula", "US", 0.006, true},
+	{"Linode", "US", 0.006, false},
+	{"Vultr", "US", 0.005, false},
+	{"Leaseweb", "NL", 0.005, false},
+	{"Contabo", "DE", 0.004, false},
+	{"Scaleway", "FR", 0.004, false},
+	{"IONOS", "DE", 0.004, false},
+	{"Rackspace", "US", 0.004, false},
+	{"Oracle", "US", 0.003, false},
+	{"IBM Cloud", "US", 0.003, false},
+	{"Alibaba", "HK", 0.003, false},
+	{"Tencent", "HK", 0.003, false},
+	{"Sakura Internet", "JP", 0.003, false},
+	{"NHN Cloud", "KR", 0.003, false},
+	{"Yandex Cloud", "RU", 0.003, false},
+	{"Selectel", "RU", 0.003, false},
+	{"Gcore", "LU", 0.003, false},
+	{"Netlify", "US", 0.003, true},
+	{"Vercel", "US", 0.003, true},
+	{"Render", "US", 0.002, false},
+	{"Heroku", "US", 0.002, false},
+	{"Pantheon", "US", 0.002, false},
+}
+
+// sGlobalSeeds are named small globals; the rest of the 73-provider class
+// is generated.
+var sGlobalSeeds = []namedWeight{
+	{"Wix", "IL", 0.0015, false},
+	{"Shopify", "CA", 0.0015, false},
+	{"Squarespace", "US", 0.0012, false},
+	{"Weebly", "US", 0.001, false},
+	{"Webflow", "US", 0.001, false},
+}
+
+var sGlobalCountries = []string{"US", "GB", "NL", "DE", "SG", "CA", "FR", "SE", "AU", "JP"}
+
+const numSGlobal = 73
+
+// dnsOnlyProviders are managed-DNS operators (paper Section 6.2: NSONE and
+// Neustar UltraDNS appear in the top ten DNS providers of over a hundred
+// countries).
+var dnsOnlyProviders = []namedWeight{
+	{"NSONE", "US", 0.030, true},
+	{"Neustar UltraDNS", "US", 0.025, true},
+	{"DNSimple", "US", 0.004, true},
+	{"easyDNS", "CA", 0.002, true},
+}
+
+// namedRegionals seeds specific regional providers called out by the
+// paper's case studies; additional generic domestic providers are generated
+// per country.
+var namedRegionals = map[string][]string{
+	"RU": {"Beget LLC", "Timeweb", "Reg.ru", "Masterhost"},
+	"BG": {"SuperHosting.BG"},
+	"LT": {"UAB Interneto vizija"},
+	"CZ": {"WEDOS", "Forpsi"},
+	"FR": {"Online S.A.S", "Gandi", "Ikoula", "o2switch", "Claranet FR", "Magic Online", "Celeonet", "Nuxit"},
+	"DE": {"Strato", "domainfactory", "Mittwald", "netcup", "Host Europe", "df.eu", "webgo"},
+	"IR": {"Asiatech", "Pars Online", "Afranet", "Respina", "IranServer"},
+	"GR": {"Forthnet"},
+	"SE": {"Loopia"},
+	"JP": {"GMO Internet", "Xserver", "KAGOYA"},
+	"KR": {"Kakao", "Gabia"},
+	"PL": {"home.pl", "nazwa.pl"},
+	"NL": {"TransIP"},
+	"CN": {}, // not in the study; regional Asia is covered via HK providers
+}
+
+// buildProviders instantiates the full provider universe for a world:
+// the global cast plus domesticPerCountry regional providers for each
+// study country. Prefixes are assigned sequentially from 10.0.0.0 upward;
+// provider i gets (10+i/256).(i%256).0.0/16.
+func buildProviders(countryCodes []string, domesticPerCountry int) ([]*Provider, error) {
+	var providers []*Provider
+	nextASN := 64500
+	addProvider := func(name, country string, anycast, regional, dnsOnly bool, extraASN bool) (*Provider, error) {
+		i := len(providers)
+		hi := 10 + i/256
+		if hi > 255 {
+			return nil, fmt.Errorf("worldgen: address plan exhausted at provider %d", i)
+		}
+		prefix, err := netip.AddrFrom4([4]byte{byte(hi), byte(i % 256), 0, 0}).Prefix(16)
+		if err != nil {
+			return nil, err
+		}
+		nextASN++
+		asns := []int{nextASN}
+		if extraASN {
+			nextASN++
+			asns = append(asns, nextASN)
+		}
+		p := &Provider{
+			Name: name, Country: country, ASNs: asns, Prefix: prefix,
+			Anycast: anycast, OffersDNS: true, DNSOnly: dnsOnly, Regional: regional,
+		}
+		providers = append(providers, p)
+		return p, nil
+	}
+
+	for _, nw := range xlGlobal {
+		if _, err := addProvider(nw.name, nw.country, nw.anycast, false, false, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, group := range [][]namedWeight{lGlobal, lGlobalRegional, mGlobal, sGlobalSeeds} {
+		for _, nw := range group {
+			if _, err := addProvider(nw.name, nw.country, nw.anycast, false, false, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := len(sGlobalSeeds); i < numSGlobal; i++ {
+		name := fmt.Sprintf("CloudNode-%02d", i)
+		country := sGlobalCountries[i%len(sGlobalCountries)]
+		if _, err := addProvider(name, country, false, false, false, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, nw := range dnsOnlyProviders {
+		if _, err := addProvider(nw.name, nw.country, nw.anycast, false, true, false); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, cc := range countryCodes {
+		named := namedRegionals[cc]
+		for i := 0; i < domesticPerCountry; i++ {
+			var name string
+			if i < len(named) {
+				name = named[i]
+			} else {
+				name = fmt.Sprintf("%s-Host-%02d", cc, i+1)
+			}
+			if _, err := addProvider(name, cc, false, true, false, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return providers, nil
+}
+
+// hostAddrFor deterministically picks a host IP for a site inside its
+// provider's prefix: anycast providers serve from a continent bucket
+// (usually the site's own continent), regional providers from their
+// H.Q.-geolocated space. The low bits are a hash of the domain, so co-hosted
+// sites share addresses the way CDN customers do.
+func (p *Provider) hostAddrFor(domainHash uint32, continent string) netip.Addr {
+	base := p.Prefix.Addr().As4()
+	if p.Anycast {
+		bucket, ok := continentBucket[continent]
+		if !ok {
+			bucket = 0
+		}
+		// Bucket b occupies third octet [32b, 32b+31] (/19).
+		base[2] = byte(32*bucket + int(domainHash>>8)%32)
+	} else {
+		// Non-anycast space: octets 192-255 (outside all buckets).
+		base[2] = byte(192 + int(domainHash>>8)%64)
+	}
+	base[3] = byte(domainHash)
+	return netip.AddrFrom4(base)
+}
+
+// nsAddr is the provider's authoritative nameserver address.
+func (p *Provider) nsAddr(continent string) netip.Addr {
+	base := p.Prefix.Addr().As4()
+	if p.Anycast {
+		bucket, ok := continentBucket[continent]
+		if !ok {
+			bucket = 0
+		}
+		base[2] = byte(32 * bucket)
+	} else {
+		base[2] = 192
+	}
+	base[3] = 53
+	return netip.AddrFrom4(base)
+}

@@ -1,0 +1,169 @@
+package worldgen
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/webdep/webdep/internal/emd"
+)
+
+// Weighted is a provider (or TLD, or CA) with a relative base weight in a
+// country's dependency profile.
+type Weighted struct {
+	Name   string
+	Weight float64
+}
+
+// synthesizeCounts turns a base weight profile into integer website counts
+// that sum to total and whose centralization score matches targetS as
+// closely as the profile's shape allows.
+//
+// Calibration works by *tilting*: raising every weight to a common exponent
+// τ and renormalizing. τ > 1 sharpens the profile (more centralized),
+// τ < 1 flattens it (less centralized), and tilting never reorders
+// providers, so the structural story encoded in the profile (who is big,
+// who is regional) survives calibration. 𝒮(τ) is monotonically increasing,
+// so a binary search suffices.
+func synthesizeCounts(profile []Weighted, total int, targetS float64) ([]int, error) {
+	if total <= 0 {
+		return nil, errors.New("worldgen: nonpositive site total")
+	}
+	if len(profile) == 0 {
+		return nil, errors.New("worldgen: empty profile")
+	}
+	weights := make([]float64, len(profile))
+	for i, w := range profile {
+		if w.Weight <= 0 {
+			return nil, errors.New("worldgen: nonpositive weight for " + w.Name)
+		}
+		weights[i] = w.Weight
+	}
+
+	lo, hi := 0.05, 8.0
+	var counts []int
+	for iter := 0; iter < 60; iter++ {
+		tau := (lo + hi) / 2
+		counts = realize(weights, total, tau)
+		s := emd.CentralizationInts(counts)
+		if math.Abs(s-targetS) < 1e-5 {
+			return counts, nil
+		}
+		if s < targetS {
+			lo = tau
+		} else {
+			hi = tau
+		}
+	}
+	return counts, nil
+}
+
+// shareGroup pins a set of profile entries to a combined realized share
+// (e.g. "the Russian providers in Turkmenistan's profile must end up with
+// 33% of sites"). Tilting alone would wash these structural shares out when
+// the calibration flattens or sharpens the profile.
+type shareGroup struct {
+	indices []int
+	target  float64
+}
+
+// synthesizeWithGroups calibrates to targetS like synthesizeCounts while
+// also steering each share group toward its target via fixed-point
+// reweighting: after each synthesis round, every group's base weights are
+// scaled by the ratio of target to realized share, and the profile is
+// re-tilted. A handful of rounds converges for the profiles in this
+// package.
+func synthesizeWithGroups(profile []Weighted, total int, targetS float64, groups []shareGroup) ([]int, error) {
+	work := append([]Weighted(nil), profile...)
+	var counts []int
+	var err error
+	for iter := 0; iter < 18; iter++ {
+		counts, err = synthesizeCounts(work, total, targetS)
+		if err != nil {
+			return nil, err
+		}
+		adjusted := false
+		for _, g := range groups {
+			if g.target <= 0 {
+				continue
+			}
+			sum := 0
+			for _, i := range g.indices {
+				sum += counts[i]
+			}
+			realized := float64(sum) / float64(total)
+			if realized == 0 {
+				realized = 0.5 / float64(total)
+			}
+			ratio := g.target / realized
+			if ratio > 1.03 || ratio < 0.97 {
+				adjusted = true
+				if ratio > 4 {
+					ratio = 4
+				}
+				if ratio < 0.25 {
+					ratio = 0.25
+				}
+				for _, i := range g.indices {
+					work[i].Weight *= ratio
+				}
+			}
+		}
+		if !adjusted {
+			break
+		}
+	}
+	return counts, nil
+}
+
+// realize converts tilted weights into integer counts summing exactly to
+// total, using largest-remainder rounding. Providers rounding to zero are
+// dropped from the tail (smallest weights first), mirroring how a country
+// simply has no sites on its most marginal providers.
+func realize(weights []float64, total int, tau float64) []int {
+	n := len(weights)
+	tilted := make([]float64, n)
+	var z float64
+	for i, w := range weights {
+		tilted[i] = math.Pow(w, tau)
+		z += tilted[i]
+	}
+	counts := make([]int, n)
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, n)
+	assigned := 0
+	for i, t := range tilted {
+		exact := t / z * float64(total)
+		counts[i] = int(exact)
+		assigned += counts[i]
+		rems[i] = rem{i, exact - float64(counts[i])}
+	}
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for i := 0; assigned < total; i++ {
+		counts[rems[i%n].idx]++
+		assigned++
+	}
+	return counts
+}
+
+// expandAssignments turns a count vector into a per-site assignment slice
+// of profile indices, shuffled deterministically by the provided rng-like
+// permutation function.
+func expandAssignments(counts []int, shuffle func(n int, swap func(i, j int))) []int {
+	var out []int
+	for idx, c := range counts {
+		for k := 0; k < c; k++ {
+			out = append(out, idx)
+		}
+	}
+	shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,137 @@
+package worldgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/webdep/webdep/internal/emd"
+)
+
+func flatProfile(n int) []Weighted {
+	out := make([]Weighted, n)
+	for i := range out {
+		out[i] = Weighted{Name: string(rune('a' + i%26)), Weight: 1 / float64(i+1)}
+	}
+	return out
+}
+
+func TestSynthesizeHitsTarget(t *testing.T) {
+	profile := flatProfile(200)
+	for _, target := range []float64{0.0411, 0.1358, 0.2403, 0.3548, 0.5853} {
+		counts, err := synthesizeCounts(profile, 10000, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := emd.CentralizationInts(counts)
+		if math.Abs(got-target) > 0.002 {
+			t.Errorf("target %v realized %v", target, got)
+		}
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		if sum != 10000 {
+			t.Errorf("counts sum %d", sum)
+		}
+	}
+}
+
+func TestSynthesizePreservesOrder(t *testing.T) {
+	profile := []Weighted{
+		{"cloudflare", 0.4}, {"amazon", 0.2}, {"google", 0.1},
+		{"regional1", 0.05}, {"regional2", 0.02},
+	}
+	counts, err := synthesizeCounts(profile, 5000, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("tilt reordered providers: %v", counts)
+		}
+	}
+	if counts[0] == 0 {
+		t.Fatal("top provider eliminated")
+	}
+}
+
+func TestSynthesizeSmallTotals(t *testing.T) {
+	counts, err := synthesizeCounts(flatProfile(50), 100, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := emd.CentralizationInts(counts)
+	// Integer quantization at C=100 limits precision.
+	if math.Abs(got-0.15) > 0.02 {
+		t.Errorf("small-C target 0.15 realized %v", got)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	if _, err := synthesizeCounts(nil, 100, 0.2); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := synthesizeCounts(flatProfile(5), 0, 0.2); err == nil {
+		t.Error("zero total accepted")
+	}
+	if _, err := synthesizeCounts([]Weighted{{"x", -1}}, 10, 0.2); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	p := flatProfile(80)
+	a, err := synthesizeCounts(p, 2000, 0.18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := synthesizeCounts(p, 2000, 0.18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("synthesis not deterministic")
+		}
+	}
+}
+
+func TestRealizeSumsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(100)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64() + 0.001
+		}
+		total := 1 + rng.Intn(5000)
+		counts := realize(weights, total, 0.3+rng.Float64()*3)
+		sum := 0
+		for _, c := range counts {
+			if c < 0 {
+				t.Fatal("negative count")
+			}
+			sum += c
+		}
+		if sum != total {
+			t.Fatalf("sum %d != total %d", sum, total)
+		}
+	}
+}
+
+func TestExpandAssignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	counts := []int{3, 0, 2}
+	got := expandAssignments(counts, rng.Shuffle)
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+	tally := map[int]int{}
+	for _, idx := range got {
+		tally[idx]++
+	}
+	if tally[0] != 3 || tally[1] != 0 || tally[2] != 2 {
+		t.Errorf("tally = %v", tally)
+	}
+}

@@ -1,0 +1,109 @@
+// Package webdep is the public face of the dependence toolkit from
+// "Formalizing Dependence of Web Infrastructure" (SIGCOMM 2025): the
+// centralization score 𝒮, the regionalization measures (usage, endemicity,
+// insularity), provider classification, and the per-country reference data
+// the paper publishes.
+//
+// The implementation lives in internal packages; this package re-exports
+// the stable API an adopter needs to apply the metrics to their own data.
+// The measurement pipeline, synthetic world, and experiment harness remain
+// internal — use cmd/webdep, cmd/depmetrics, and cmd/experiments to drive
+// them.
+//
+//	d := webdep.NewDistribution()
+//	d.Observe("Cloudflare") // once per website
+//	score := d.Score()      // 𝒮 = Σ(aᵢ/C)² − 1/C
+//	band := webdep.Interpret(score)
+package webdep
+
+import (
+	"github.com/webdep/webdep/internal/core"
+	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/emd"
+	"github.com/webdep/webdep/internal/stats"
+)
+
+// Distribution is an observed distribution of an Internet function over
+// providers. See core.Distribution for the full method set: Score, HHI,
+// TopNShare, ProvidersForCoverage, RankCurve, Ranked, Top, …
+type Distribution = core.Distribution
+
+// UsageCurve is a provider's per-country usage profile, carrying the
+// Usage, Endemicity, and EndemicityRatio metrics.
+type UsageCurve = core.UsageCurve
+
+// Insularity tallies a country's in-country dependence share.
+type Insularity = core.Insularity
+
+// CrossDependence tallies which countries a country's websites depend on.
+type CrossDependence = core.CrossDependence
+
+// ProviderShare pairs a provider with its market share.
+type ProviderShare = core.ProviderShare
+
+// RedundancyDistribution is the Section 3.2 "provider redundancy"
+// customization, where every provider a site requires receives mass.
+type RedundancyDistribution = core.RedundancyDistribution
+
+// Country is one of the study's 150 countries with its published
+// centralization scores.
+type Country = countries.Country
+
+// Layer identifies one of the four studied infrastructure layers.
+type Layer = countries.Layer
+
+// The four layers.
+const (
+	Hosting = countries.Hosting
+	DNS     = countries.DNS
+	CA      = countries.CA
+	TLD     = countries.TLD
+)
+
+// DOJ-style interpretation bands for 𝒮.
+const (
+	Competitive            = core.Competitive
+	ModeratelyConcentrated = core.ModeratelyConcentrated
+	HighlyConcentrated     = core.HighlyConcentrated
+)
+
+// NewDistribution returns an empty distribution.
+func NewDistribution() *Distribution { return core.NewDistribution() }
+
+// FromCounts builds a distribution from a provider→count map.
+func FromCounts(counts map[string]float64) *Distribution { return core.FromCounts(counts) }
+
+// NewUsageCurve builds a usage curve from per-country usage percentages.
+func NewUsageCurve(percents []float64) UsageCurve { return core.NewUsageCurve(percents) }
+
+// NewCrossDependence returns an empty cross-country dependence tally.
+func NewCrossDependence() *CrossDependence { return core.NewCrossDependence() }
+
+// Interpret maps a centralization score onto the DOJ interpretation bands.
+func Interpret(score float64) string { return core.Interpret(score) }
+
+// MaxScore returns the largest 𝒮 achievable with c websites: 1 − 1/c.
+func MaxScore(c int) float64 { return core.MaxScore(c) }
+
+// CentralizationScore computes 𝒮 directly from a slice of per-provider
+// website counts, without building a Distribution.
+func CentralizationScore(counts []float64) float64 { return emd.Centralization(counts) }
+
+// PairwiseEMD compares two observed distributions directly (the Section
+// 3.2 customization), returning a symmetric shape distance in [0, 1).
+func PairwiseEMD(a, b *Distribution) (float64, error) { return core.PairwiseEMD(a, b) }
+
+// Countries returns the study's 150 countries with their published
+// per-layer centralization scores (Appendix E + Tables 5–8).
+func Countries() []Country { return countries.All() }
+
+// CountryByCode looks up a study country by ISO alpha-2 code.
+func CountryByCode(code string) (Country, bool) { return countries.ByCode(code) }
+
+// Pearson returns Pearson's correlation coefficient between paired
+// samples, the statistic the paper uses for cross-country comparisons.
+func Pearson(xs, ys []float64) (float64, error) { return stats.Pearson(xs, ys) }
+
+// CorrelationStrength renders a coefficient using the interpretation
+// vocabulary the paper adopts (poor/fair/moderate/strong).
+func CorrelationStrength(rho float64) string { return stats.CorrelationStrength(rho) }

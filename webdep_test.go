@@ -1,0 +1,70 @@
+package webdep
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFacadeDistribution(t *testing.T) {
+	d := NewDistribution()
+	for i := 0; i < 9; i++ {
+		d.Observe("big")
+	}
+	d.Observe("small")
+	if got := d.Score(); math.Abs(got-(0.81+0.01-0.1)) > 1e-12 {
+		t.Errorf("Score = %v", got)
+	}
+	if Interpret(d.Score()) != HighlyConcentrated {
+		t.Error("interpretation wrong")
+	}
+	if got := CentralizationScore([]float64{9, 1}); got != d.Score() {
+		t.Errorf("CentralizationScore = %v", got)
+	}
+}
+
+func TestFacadeCountries(t *testing.T) {
+	all := Countries()
+	if len(all) != 150 {
+		t.Fatalf("Countries = %d", len(all))
+	}
+	th, ok := CountryByCode("TH")
+	if !ok || th.PaperScore[Hosting] != 0.3548 {
+		t.Errorf("TH = %+v", th)
+	}
+	if Hosting.String() != "hosting" || TLD.String() != "tld" {
+		t.Error("layer constants wrong")
+	}
+}
+
+func TestFacadeUsageAndPairwise(t *testing.T) {
+	u := NewUsageCurve([]float64{50, 10, 0, 0})
+	if u.EndemicityRatio() <= 0.5 {
+		t.Errorf("E_R = %v", u.EndemicityRatio())
+	}
+	a := FromCounts(map[string]float64{"x": 10, "y": 10})
+	b := FromCounts(map[string]float64{"z": 20})
+	d, err := PairwiseEMD(a, b)
+	if err != nil || d <= 0 {
+		t.Errorf("PairwiseEMD = %v, %v", d, err)
+	}
+	if MaxScore(100) != 0.99 {
+		t.Error("MaxScore wrong")
+	}
+	rho, err := Pearson([]float64{1, 2, 3}, []float64{2, 4, 6})
+	if err != nil || rho != 1 {
+		t.Errorf("Pearson = %v, %v", rho, err)
+	}
+	if CorrelationStrength(0.95) != "strong" {
+		t.Error("strength wrong")
+	}
+	cd := NewCrossDependence()
+	cd.Observe("RU")
+	if cd.Share("RU") != 1 {
+		t.Error("cross dependence wrong")
+	}
+	var ins Insularity
+	ins.Observe("US", "US")
+	if ins.Fraction() != 1 {
+		t.Error("insularity wrong")
+	}
+}
