@@ -8,8 +8,10 @@
 package webdep
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -409,6 +411,94 @@ func BenchmarkLiveCrawl(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := live.CrawlCountry("TH", "bench", domains); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureWorldParallel measures corpus-wide enrichment of the full
+// 150-country world through the parallel execution layer, with the
+// one-worker pool as the sequential baseline the speedup is judged
+// against. The measured corpus is byte-identical across sub-benchmarks
+// (see TestMeasureWorldDeterministicAcrossWorkers), so the only variable
+// is wall-clock.
+func BenchmarkMeasureWorldParallel(b *testing.B) {
+	w, err := worldgen.Build(worldgen.Config{
+		Seed: 1, SitesPerCountry: 300, DomesticPerCountry: 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n := len(w.Config.Countries); n != 150 {
+		b.Fatalf("world has %d countries, want the full 150", n)
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			p := pipeline.FromWorld(w)
+			p.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.MeasureWorld(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCorpusScoresParallel measures the per-layer scoring sweep over
+// the shared 40-country corpus at one worker versus one per CPU.
+func BenchmarkCorpusScoresParallel(b *testing.B) {
+	_, corpus := setup(b)
+	defer func() { corpus.Workers = 0 }()
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			corpus.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, layer := range countries.Layers {
+					_ = corpus.Scores(layer)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrawlCorpusGlobalBudget measures the corpus-level live crawl:
+// two countries sharing one worker pool over real DNS and TLS.
+func BenchmarkCrawlCorpusGlobalBudget(b *testing.B) {
+	ccs := []string{"TH", "CZ"}
+	w, err := worldgen.Build(worldgen.Config{
+		Seed: 7, SitesPerCountry: 30, Countries: ccs, DomesticPerCountry: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep, err := liveworld.Serve(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ep.Close()
+	live := &pipeline.Live{
+		Pipeline: pipeline.FromWorld(w),
+		DNS:      resolver.NewClient(ep.DNSAddr),
+		Scanner:  tlsscan.New(w.Owners),
+		TLSAddr:  ep.TLSAddr,
+		Workers:  8,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := live.CrawlCorpus(context.Background(), "bench", ccs,
+			func(cc string) []string { return w.Truth.Get(cc).Domains() }, nil)
+		if err != nil {
 			b.Fatal(err)
 		}
 	}

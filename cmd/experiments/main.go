@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -37,10 +38,11 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		geoErr  = flag.Bool("geoerr", false, "enable the 10.6% geolocation error model")
 		subsetF = flag.String("countries", "", "comma-separated country subset (default: all 150)")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "per-country measurement/scoring concurrency (results are identical for any value)")
 	)
 	flag.Parse()
 
-	h := newHarness(*seed, *sites, *geoErr, splitList(*subsetF))
+	h := newHarness(*seed, *sites, *geoErr, splitList(*subsetF), *workers)
 	if *list {
 		for _, id := range h.ids() {
 			fmt.Printf("%-14s %s\n", id, h.experiments[id].desc)
@@ -90,6 +92,7 @@ type harness struct {
 	sites       int
 	geoErr      bool
 	subset      []string
+	workers     int
 	experiments map[string]experiment
 
 	world   *worldgen.World
@@ -98,8 +101,8 @@ type harness struct {
 	class   map[countries.Layer]*classify.Result
 }
 
-func newHarness(seed int64, sites int, geoErr bool, subset []string) *harness {
-	h := &harness{seed: seed, sites: sites, geoErr: geoErr, subset: subset,
+func newHarness(seed int64, sites int, geoErr bool, subset []string, workers int) *harness {
+	h := &harness{seed: seed, sites: sites, geoErr: geoErr, subset: subset, workers: workers,
 		class: map[countries.Layer]*classify.Result{}}
 	h.experiments = map[string]experiment{
 		"fig1":         {"Top-N metric shortcoming: provider rank curves for AZ/HK/TH/IR", h.fig1},
@@ -174,13 +177,19 @@ func (h *harness) getCorpus() (*dataset.Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintln(os.Stderr, "measuring world through the pipeline...")
-	corpus, err := pipeline.FromWorld(w).MeasureWorld(w)
+	fmt.Fprintf(os.Stderr, "measuring world through the pipeline (%d workers)...\n", h.workers)
+	corpus, err := h.pipeline(w).MeasureWorld(w)
 	if err != nil {
 		return nil, err
 	}
 	h.corpus = corpus
 	return corpus, nil
+}
+
+func (h *harness) pipeline(w *worldgen.World) *pipeline.Pipeline {
+	p := pipeline.FromWorld(w)
+	p.Workers = h.workers
+	return p
 }
 
 func (h *harness) getSecondEpoch() (*dataset.Corpus, error) {
@@ -196,7 +205,7 @@ func (h *harness) getSecondEpoch() (*dataset.Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-	corpus, err := pipeline.FromWorld(w).MeasureWorld(next)
+	corpus, err := h.pipeline(w).MeasureWorld(next)
 	if err != nil {
 		return nil, err
 	}
@@ -573,10 +582,7 @@ func (h *harness) summary() error {
 	if err != nil {
 		return err
 	}
-	var sums []analysis.LayerSummary
-	for _, layer := range countries.Layers {
-		sums = append(sums, analysis.SummarizeLayer(corpus, layer))
-	}
+	sums := analysis.SummarizeLayers(corpus)
 	report.LayerSummaries(os.Stdout, "Per-layer headline aggregates", sums)
 	fmt.Println("\npaper: hosting 0.1429 (var 0.003), DNS 0.1379, CA 0.2007 (var 0.0007), TLD 0.3262.")
 	return nil

@@ -28,7 +28,7 @@ func TestSplitList(t *testing.T) {
 }
 
 func TestHarnessIDsStable(t *testing.T) {
-	h := newHarness(1, 100, false, nil)
+	h := newHarness(1, 100, false, nil, 0)
 	ids := h.ids()
 	if len(ids) != len(h.experiments) {
 		t.Fatalf("ids = %d, experiments = %d", len(ids), len(h.experiments))
@@ -55,7 +55,7 @@ func TestHarnessIDsStable(t *testing.T) {
 // TestWorldFreeExperiments runs the experiments that need no world build
 // (pure-computation regenerations) end to end.
 func TestWorldFreeExperiments(t *testing.T) {
-	h := newHarness(1, 100, false, nil)
+	h := newHarness(1, 100, false, nil, 0)
 	for _, id := range []string{"fig2", "fig3", "divergence"} {
 		if err := h.experiments[id].run(); err != nil {
 			t.Errorf("%s: %v", id, err)
@@ -69,7 +69,7 @@ func TestTinyWorldExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tiny-world harness run")
 	}
-	h := newHarness(3, 200, false, []string{"TH", "IR", "US", "CZ", "AZ", "HK", "RU", "SK"})
+	h := newHarness(3, 200, false, []string{"TH", "IR", "US", "CZ", "AZ", "HK", "RU", "SK"}, 4)
 	for _, id := range []string{
 		"summary", "fig1", "table5", "fig9", "fig11", "casestudies",
 		"coverage", "interpret", "calibration", "tails", "tld", "vantage",

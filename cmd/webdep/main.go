@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"github.com/webdep/webdep/internal/countries"
@@ -38,10 +40,11 @@ func main() {
 		geoErr  = flag.Bool("geoerr", false, "enable the 10.6% geolocation error model")
 		summary = flag.Bool("summary", true, "print per-layer score summaries")
 		zones   = flag.Bool("zones", false, "also dump the world's DNS zones as master files")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "measurement concurrency: countries in fast mode, crawl jobs in live mode (output is identical for any value)")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *sites, *out, splitList(*subset), *epoch2, *live, *geoErr, *summary, *zones); err != nil {
+	if err := run(*seed, *sites, *out, splitList(*subset), *epoch2, *live, *geoErr, *summary, *zones, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "webdep:", err)
 		os.Exit(1)
 	}
@@ -60,7 +63,7 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(seed int64, sites int, out string, subset []string, epoch2, live, geoErr, summary, zones bool) error {
+func run(seed int64, sites int, out string, subset []string, epoch2, live, geoErr, summary, zones bool, workers int) error {
 	cfg := worldgen.Config{Seed: seed, SitesPerCountry: sites, Countries: subset}
 	if geoErr {
 		cfg.GeoErrorRate = 0.106
@@ -73,9 +76,11 @@ func run(seed int64, sites int, out string, subset []string, epoch2, live, geoEr
 
 	var corpus *dataset.Corpus
 	if live {
-		corpus, err = measureLive(w)
+		corpus, err = measureLive(w, workers)
 	} else {
-		corpus, err = pipeline.FromWorld(w).MeasureWorld(w)
+		p := pipeline.FromWorld(w)
+		p.Workers = workers
+		corpus, err = p.MeasureWorld(w)
 	}
 	if err != nil {
 		return err
@@ -98,7 +103,9 @@ func run(seed int64, sites int, out string, subset []string, epoch2, live, geoEr
 		if err != nil {
 			return err
 		}
-		corpus2, err := pipeline.FromWorld(w).MeasureWorld(next)
+		p := pipeline.FromWorld(w)
+		p.Workers = workers
+		corpus2, err := p.MeasureWorld(next)
 		if err != nil {
 			return err
 		}
@@ -109,7 +116,7 @@ func run(seed int64, sites int, out string, subset []string, epoch2, live, geoEr
 	return nil
 }
 
-func measureLive(w *worldgen.World) (*dataset.Corpus, error) {
+func measureLive(w *worldgen.World, workers int) (*dataset.Corpus, error) {
 	fmt.Fprintln(os.Stderr, "serving world over DNS and TLS...")
 	ep, err := liveworld.Serve(w)
 	if err != nil {
@@ -121,19 +128,18 @@ func measureLive(w *worldgen.World) (*dataset.Corpus, error) {
 		DNS:            resolver.NewClient(ep.DNSAddr),
 		Scanner:        tlsscan.New(w.Owners),
 		TLSAddr:        ep.TLSAddr,
-		Workers:        16,
+		Workers:        workers,
 		DetectLanguage: true,
 	}
-	corpus := dataset.NewCorpus(w.Config.Epoch)
-	for _, cc := range w.Config.Countries {
-		fmt.Fprintf(os.Stderr, "crawling %s over real sockets...\n", cc)
-		list, err := liveP.CrawlCountry(cc, w.Config.Epoch, w.Truth.Get(cc).Domains())
-		if err != nil {
-			return nil, err
-		}
-		corpus.Add(list)
-	}
-	return corpus, nil
+	fmt.Fprintf(os.Stderr, "crawling %d countries over real sockets (%d workers)...\n",
+		len(w.Config.Countries), workers)
+	// CrawlCorpus serializes progress callbacks, so these per-country lines
+	// never interleave even though countries finish concurrently.
+	return liveP.CrawlCorpus(context.Background(), w.Config.Epoch, w.Config.Countries,
+		func(cc string) []string { return w.Truth.Get(cc).Domains() },
+		func(cc string, sites int) {
+			fmt.Fprintf(os.Stderr, "crawled %s (%d sites)\n", cc, sites)
+		})
 }
 
 func export(dir string, corpus *dataset.Corpus) error {

@@ -6,12 +6,14 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 
 	"github.com/webdep/webdep/internal/classify"
 	"github.com/webdep/webdep/internal/core"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/parallel"
 	"github.com/webdep/webdep/internal/stats"
 	"github.com/webdep/webdep/internal/tldinfo"
 )
@@ -158,12 +160,16 @@ type LayerSummary struct {
 	MeanInsular float64
 }
 
-// SummarizeLayer computes the headline aggregates for one layer.
+// SummarizeLayer computes the headline aggregates for one layer. Countries
+// are visited in sorted code order so ties for most/least centralized and
+// the floating-point reductions come out identical on every run.
 func SummarizeLayer(corpus *dataset.Corpus, layer countries.Layer) LayerSummary {
 	scores := corpus.Scores(layer)
-	var xs []float64
+	ccs := corpus.Countries()
+	xs := make([]float64, 0, len(ccs))
 	sum := LayerSummary{Layer: layer, MostValue: -1, LeastValue: 2}
-	for cc, v := range scores {
+	for _, cc := range ccs {
+		v := scores[cc]
 		xs = append(xs, v)
 		if v > sum.MostValue {
 			sum.MostCode, sum.MostValue = cc, v
@@ -176,12 +182,25 @@ func SummarizeLayer(corpus *dataset.Corpus, layer countries.Layer) LayerSummary 
 	sum.Variance = stats.Variance(xs)
 	sum.Median = stats.Median(xs)
 	sum.GlobalTop = corpus.GlobalDistribution(layer).Score()
-	var ins []float64
-	for _, v := range Insularities(corpus, layer) {
-		ins = append(ins, v)
+	insularities := Insularities(corpus, layer)
+	ins := make([]float64, 0, len(ccs))
+	for _, cc := range ccs {
+		ins = append(ins, insularities[cc])
 	}
 	sum.MeanInsular = stats.Mean(ins)
 	return sum
+}
+
+// SummarizeLayers summarizes every layer of the corpus concurrently, one
+// pool slot per layer (each summary in turn fans its per-country scoring
+// out over the corpus's own worker pool). The slice follows the order of
+// countries.Layers and is identical to calling SummarizeLayer serially.
+func SummarizeLayers(corpus *dataset.Corpus) []LayerSummary {
+	sums, _ := parallel.Map(context.Background(), len(countries.Layers), len(countries.Layers),
+		func(_ context.Context, i int) (LayerSummary, error) {
+			return SummarizeLayer(corpus, countries.Layers[i]), nil
+		})
+	return sums
 }
 
 // InsularityCDF returns the empirical CDF of a layer's insularity across

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/webdep/webdep/internal/countries"
+)
+
+// TestSummarizeLayersMatchesSerial checks the concurrent all-layer summary
+// is exactly the slice of serial per-layer summaries, in layer order, and
+// that repeated runs agree (no map-order leakage into the aggregates).
+func TestSummarizeLayersMatchesSerial(t *testing.T) {
+	_, mc := measuredCorpus(t)
+	got := SummarizeLayers(mc)
+	if len(got) != len(countries.Layers) {
+		t.Fatalf("%d summaries for %d layers", len(got), len(countries.Layers))
+	}
+	for i, layer := range countries.Layers {
+		want := SummarizeLayer(mc, layer)
+		if got[i] != want {
+			t.Errorf("%v: concurrent summary %+v\n              serial %+v", layer, got[i], want)
+		}
+	}
+	again := SummarizeLayers(mc)
+	if !reflect.DeepEqual(got, again) {
+		t.Error("SummarizeLayers not reproducible across runs")
+	}
+}
+
+// TestSummariesIdenticalAcrossWorkerCounts runs the same corpus's summary
+// at scoring-pool sizes 1 and 8.
+func TestSummariesIdenticalAcrossWorkerCounts(t *testing.T) {
+	_, mc := measuredCorpus(t)
+	mc.Workers = 1
+	seq := SummarizeLayers(mc)
+	mc.Workers = 8
+	par := SummarizeLayers(mc)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("summaries differ across worker counts:\n w1 %+v\n w8 %+v", seq, par)
+	}
+}

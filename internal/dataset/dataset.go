@@ -5,11 +5,13 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"github.com/webdep/webdep/internal/core"
 	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/parallel"
 )
 
 // Website is one enriched toplist row. String fields are empty when the
@@ -134,6 +136,12 @@ func (c *CountryList) CrossDependence(layer countries.Layer) *core.CrossDependen
 type Corpus struct {
 	Epoch string
 	Lists map[string]*CountryList
+
+	// Workers bounds the per-country concurrency of the corpus-wide
+	// computations (Scores, Insularities, UsageMatrix); 0 means one worker
+	// per CPU. Results are identical for every worker count: each country
+	// is computed independently and merged in sorted country order.
+	Workers int
 }
 
 // NewCorpus returns an empty corpus for the epoch.
@@ -166,57 +174,82 @@ func (c *Corpus) TotalSites() int {
 	return n
 }
 
-// Scores computes the centralization score per country for one layer.
+// Scores computes the centralization score per country for one layer,
+// fanning the per-country distributions out over the corpus's worker pool.
 func (c *Corpus) Scores(layer countries.Layer) map[string]float64 {
-	out := make(map[string]float64, len(c.Lists))
-	for cc, l := range c.Lists {
-		out[cc] = l.Distribution(layer).Score()
-	}
-	return out
+	return c.perCountry(func(l *CountryList) float64 {
+		return l.Distribution(layer).Score()
+	})
 }
 
 // Insularities computes the insularity fraction per country for one layer.
 func (c *Corpus) Insularities(layer countries.Layer) map[string]float64 {
-	out := make(map[string]float64, len(c.Lists))
-	for cc, l := range c.Lists {
-		out[cc] = l.Insularity(layer).Fraction()
+	return c.perCountry(func(l *CountryList) float64 {
+		return l.Insularity(layer).Fraction()
+	})
+}
+
+// perCountry evaluates fn for every country list concurrently (bounded by
+// c.Workers) and keys the index-addressed results by country code. The fn
+// invocations only read the corpus, so any worker count yields the same map.
+func (c *Corpus) perCountry(fn func(*CountryList) float64) map[string]float64 {
+	ccs := c.Countries()
+	vals, _ := parallel.Map(context.Background(), c.Workers, len(ccs),
+		func(_ context.Context, i int) (float64, error) {
+			return fn(c.Lists[ccs[i]]), nil
+		})
+	out := make(map[string]float64, len(ccs))
+	for i, cc := range ccs {
+		out[cc] = vals[i]
 	}
 	return out
 }
 
 // GlobalDistribution aggregates every country list into a single provider
 // distribution for the layer — the "Global Top 10k"-style marker in the
-// paper's Figure 12 (each country's list contributes its sites).
+// paper's Figure 12 (each country's list contributes its sites). The
+// per-country distributions are built concurrently and merged in sorted
+// country order; counts are integers, so the merge is exact.
 func (c *Corpus) GlobalDistribution(layer countries.Layer) *core.Distribution {
+	ccs := c.Countries()
+	dists, _ := parallel.Map(context.Background(), c.Workers, len(ccs),
+		func(_ context.Context, i int) (*core.Distribution, error) {
+			return c.Lists[ccs[i]].Distribution(layer), nil
+		})
 	d := core.NewDistribution()
-	for _, l := range c.Lists {
-		for i := range l.Sites {
-			p, _ := l.Sites[i].ProviderOf(layer)
-			if p != "" {
-				d.Observe(p)
-			}
-		}
+	for _, cd := range dists {
+		d.Merge(cd)
 	}
 	return d
 }
 
 // UsageMatrix returns, for one layer, each provider's usage percentage per
 // country: provider → country → percent of that country's measured sites.
+// The per-country distributions are built concurrently; the merge into the
+// nested map happens on the caller's goroutine in sorted country order.
 func (c *Corpus) UsageMatrix(layer countries.Layer) map[string]map[string]float64 {
+	ccs := c.Countries()
+	type usage struct {
+		ranked []core.ProviderShare
+		total  float64
+	}
+	rows, _ := parallel.Map(context.Background(), c.Workers, len(ccs),
+		func(_ context.Context, i int) (usage, error) {
+			dist := c.Lists[ccs[i]].Distribution(layer)
+			return usage{ranked: dist.Ranked(), total: dist.Total()}, nil
+		})
 	matrix := make(map[string]map[string]float64)
-	for cc, l := range c.Lists {
-		dist := l.Distribution(layer)
-		total := dist.Total()
-		if total == 0 {
+	for i, cc := range ccs {
+		if rows[i].total == 0 {
 			continue
 		}
-		for _, ps := range dist.Ranked() {
+		for _, ps := range rows[i].ranked {
 			m := matrix[ps.Provider]
 			if m == nil {
 				m = make(map[string]float64)
 				matrix[ps.Provider] = m
 			}
-			m[cc] = 100 * ps.Count / total
+			m[cc] = 100 * ps.Count / rows[i].total
 		}
 	}
 	return matrix

@@ -1,0 +1,118 @@
+// Package parallel provides the bounded worker pools the corpus-wide
+// measurement and analysis paths run on. The helpers are deliberately
+// deterministic in their outputs: results are index-addressed, so callers
+// get byte-identical answers regardless of the worker count or the order
+// in which the pool happens to schedule jobs.
+//
+// Error handling follows the "first error wins, everyone else stands down"
+// convention: the error attributed to the lowest job index is returned
+// (making the reported error independent of scheduling), and the shared
+// context is cancelled as soon as any job fails so in-flight and queued
+// work stops promptly.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count knob: n itself when positive, otherwise
+// runtime.GOMAXPROCS(0). Every -workers flag and Workers struct field in
+// the toolkit funnels through this so "0 means all cores" is uniform.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEachIndexed runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (clamped through Workers and to n). The context passed to fn
+// is cancelled as soon as any invocation returns a non-nil error or the
+// parent context is cancelled; queued jobs are then skipped. The returned
+// error is the one from the lowest failing index, or the context's error
+// when cancellation came from outside.
+func ForEachIndexed(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	// Jobs are fed in ascending index order and feeding stops at the first
+	// cancellation, so every failing index lower than the failure that
+	// triggered cancellation has already been dequeued and run — which is
+	// what makes the lowest-index error guarantee hold under any schedule.
+	// Dequeued jobs always run (workers don't re-check ctx), bounding
+	// post-cancellation work at one job per worker.
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(ctx, i); err != nil {
+					fail(i, err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			i = n // stop feeding; fall through to close and wait
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// Map runs fn for every index in [0, n) under the same pool semantics as
+// ForEachIndexed and returns the results in index order. On error the
+// partial results are discarded and the lowest-index error is returned.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachIndexed(ctx, workers, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := Workers(0), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers(0) = %d, want %d", got, want)
+	}
+	if got, want := Workers(-3), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers(-3) = %d, want %d", got, want)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}
+
+func TestForEachIndexedRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		const n = 57
+		counts := make([]int32, n)
+		err := ForEachIndexed(context.Background(), workers, n, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachIndexedZeroJobs(t *testing.T) {
+	if err := ForEachIndexed(context.Background(), 4, 0, func(context.Context, int) error {
+		t.Error("fn called for empty range")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapIsIndexAddressed(t *testing.T) {
+	want := make([]string, 100)
+	for i := range want {
+		want[i] = fmt.Sprintf("r%d", i)
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := Map(context.Background(), workers, len(want), func(_ context.Context, i int) (string, error) {
+			return fmt.Sprintf("r%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: index %d = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFirstErrorIsLowestIndex(t *testing.T) {
+	// Several indices fail; the reported error must be the lowest-index one
+	// no matter which worker hit its failure first.
+	for trial := 0; trial < 20; trial++ {
+		err := ForEachIndexed(context.Background(), 8, 64, func(_ context.Context, i int) error {
+			if i%10 == 3 { // 3, 13, 23, ...
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("trial %d: err = %v, want job 3 failed", trial, err)
+		}
+	}
+}
+
+func TestErrorCancelsRemainingJobs(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := ForEachIndexed(context.Background(), 2, 10_000, func(_ context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The pool must stand down promptly: with 2 workers the failure at index
+	// 0 should prevent the vast majority of the 10k jobs from running.
+	if n := atomic.LoadInt32(&ran); n > 1000 {
+		t.Errorf("%d jobs ran after the first error", n)
+	}
+}
+
+func TestParentCancellationStopsPool(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachIndexed(ctx, 2, 1_000_000, func(ctx context.Context, i int) error {
+			if atomic.AddInt32(&ran, 1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pool did not stop after cancellation")
+	}
+}
+
+func TestPreCancelledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForEachIndexed(ctx, 4, 100, func(context.Context, int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt32(&ran); n != 0 {
+		t.Errorf("%d jobs ran under a pre-cancelled context", n)
+	}
+}
+
+func TestMapDiscardsPartialResultsOnError(t *testing.T) {
+	out, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("nope")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	if out != nil {
+		t.Errorf("partial results returned: %v", out)
+	}
+}

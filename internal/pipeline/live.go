@@ -2,15 +2,18 @@ package pipeline
 
 import (
 	"bufio"
+	"context"
 	"crypto/tls"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/langid"
+	"github.com/webdep/webdep/internal/parallel"
 	"github.com/webdep/webdep/internal/resolver"
 	"github.com/webdep/webdep/internal/tldinfo"
 	"github.com/webdep/webdep/internal/tlsscan"
@@ -38,31 +41,74 @@ type Live struct {
 // CrawlCountry measures one country's domains end-to-end. Per-domain
 // failures leave the affected fields empty rather than failing the crawl.
 func (l *Live) CrawlCountry(cc, epoch string, domains []string) (*dataset.CountryList, error) {
+	corpus, err := l.CrawlCorpus(context.Background(), epoch, []string{cc},
+		func(string) []string { return domains }, nil)
+	if err != nil {
+		return nil, err
+	}
+	return corpus.Get(cc), nil
+}
+
+// CrawlCorpus measures every listed country over one global worker budget:
+// all (country, domain) crawl jobs share the same pool of l.Workers
+// goroutines, so a large country cannot serialize the corpus behind it and
+// small countries do not leave workers idle. Results are index-addressed
+// per (country, rank), making the corpus identical to per-country
+// sequential crawls. The optional progress callback fires once per country
+// as its last site completes; invocations are serialized, so callers may
+// write to a shared stream without interleaving. Cancelling ctx aborts the
+// crawl promptly with the context's error.
+func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, domainsOf func(cc string) []string, progress func(cc string, sites int)) (*dataset.Corpus, error) {
 	if l.DNS == nil || l.Scanner == nil {
 		return nil, fmt.Errorf("pipeline: live crawl needs DNS client and TLS scanner")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := l.Workers
 	if workers <= 0 {
 		workers = 8
 	}
-	sites := make([]dataset.Website, len(domains))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				sites[idx] = l.crawlOne(cc, domains[idx], idx+1)
-			}
-		}()
+
+	// Flatten the per-country domain lists into one job list so the worker
+	// budget is truly global.
+	domains := make([][]string, len(ccs))
+	sites := make([][]dataset.Website, len(ccs))
+	remaining := make([]int64, len(ccs))
+	var ccOf, domOf []int
+	for i, cc := range ccs {
+		domains[i] = domainsOf(cc)
+		sites[i] = make([]dataset.Website, len(domains[i]))
+		remaining[i] = int64(len(domains[i]))
+		for j := range domains[i] {
+			ccOf = append(ccOf, i)
+			domOf = append(domOf, j)
+		}
 	}
-	for i := range domains {
-		jobs <- i
+
+	var progressMu sync.Mutex
+	err := parallel.ForEachIndexed(ctx, workers, len(ccOf), func(ctx context.Context, k int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		i, j := ccOf[k], domOf[k]
+		sites[i][j] = l.crawlOne(ccs[i], domains[i][j], j+1)
+		if progress != nil && atomic.AddInt64(&remaining[i], -1) == 0 {
+			progressMu.Lock()
+			progress(ccs[i], len(sites[i]))
+			progressMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	close(jobs)
-	wg.Wait()
-	return &dataset.CountryList{Country: cc, Epoch: epoch, Sites: sites}, nil
+	corpus := dataset.NewCorpus(epoch)
+	corpus.Workers = l.Workers
+	for i, cc := range ccs {
+		corpus.Add(&dataset.CountryList{Country: cc, Epoch: epoch, Sites: sites[i]})
+	}
+	return corpus, nil
 }
 
 func (l *Live) crawlOne(cc, domain string, rank int) dataset.Website {

@@ -1,0 +1,113 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/webdep/webdep/internal/liveworld"
+	"github.com/webdep/webdep/internal/resolver"
+	"github.com/webdep/webdep/internal/tlsscan"
+	"github.com/webdep/webdep/internal/worldgen"
+)
+
+func serveLive(t *testing.T, ccs ...string) (*worldgen.World, *Live, func()) {
+	t.Helper()
+	w, err := worldgen.Build(worldgen.Config{
+		Seed:               21,
+		SitesPerCountry:    40,
+		Countries:          ccs,
+		DomesticPerCountry: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := liveworld.Serve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := &Live{
+		Pipeline: FromWorld(w),
+		DNS:      resolver.NewClient(ep.DNSAddr),
+		Scanner:  tlsscan.New(w.Owners),
+		TLSAddr:  ep.TLSAddr,
+		Workers:  8,
+	}
+	return w, live, func() { ep.Close() }
+}
+
+// TestCrawlCorpusMatchesPerCountryCrawls checks the global worker budget
+// produces exactly the same corpus as crawling each country on its own:
+// sharing workers across countries must not perturb the measurement.
+func TestCrawlCorpusMatchesPerCountryCrawls(t *testing.T) {
+	ccs := []string{"TH", "CZ", "US"}
+	w, live, done := serveLive(t, ccs...)
+	defer done()
+
+	var progressed []string
+	corpus, err := live.CrawlCorpus(context.Background(), "2023-05", ccs,
+		func(cc string) []string { return w.Truth.Get(cc).Domains() },
+		func(cc string, sites int) { progressed = append(progressed, cc) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cc := range ccs {
+		perCountry, err := live.CrawlCountry(cc, "2023-05", w.Truth.Get(cc).Domains())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := corpus.Get(cc)
+		if got == nil {
+			t.Fatalf("%s missing from corpus", cc)
+		}
+		if len(got.Sites) != len(perCountry.Sites) {
+			t.Fatalf("%s: corpus crawl %d sites, per-country crawl %d", cc, len(got.Sites), len(perCountry.Sites))
+		}
+		for i := range got.Sites {
+			if got.Sites[i] != perCountry.Sites[i] {
+				t.Errorf("%s site %d differs:\n corpus      %+v\n per-country %+v",
+					cc, i, got.Sites[i], perCountry.Sites[i])
+			}
+		}
+	}
+
+	// The serialized progress callback must fire exactly once per country.
+	if len(progressed) != len(ccs) {
+		t.Fatalf("progress fired %d times for %d countries: %v", len(progressed), len(ccs), progressed)
+	}
+	seen := map[string]bool{}
+	for _, cc := range progressed {
+		if seen[cc] {
+			t.Errorf("progress fired twice for %s", cc)
+		}
+		seen[cc] = true
+	}
+}
+
+// TestCrawlCorpusCancellation aborts a corpus crawl up front and checks the
+// pool surfaces the context error instead of a partial corpus.
+func TestCrawlCorpusCancellation(t *testing.T) {
+	w, live, done := serveLive(t, "TH")
+	defer done()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	corpus, err := live.CrawlCorpus(ctx, "2023-05", []string{"TH"},
+		func(cc string) []string { return w.Truth.Get(cc).Domains() }, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if corpus != nil {
+		t.Error("cancelled crawl returned a corpus")
+	}
+}
+
+// TestCrawlCorpusRequiresClients mirrors the per-country guard.
+func TestCrawlCorpusRequiresClients(t *testing.T) {
+	live := &Live{Pipeline: &Pipeline{}}
+	if _, err := live.CrawlCorpus(context.Background(), "x", []string{"US"},
+		func(string) []string { return []string{"a.com"} }, nil); err == nil {
+		t.Error("corpus crawl without clients accepted")
+	}
+}

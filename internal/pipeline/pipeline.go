@@ -13,6 +13,7 @@
 package pipeline
 
 import (
+	"context"
 	"crypto/x509"
 	"crypto/x509/pkix"
 	"fmt"
@@ -22,17 +23,26 @@ import (
 	"github.com/webdep/webdep/internal/capki"
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/geoip"
+	"github.com/webdep/webdep/internal/parallel"
 	"github.com/webdep/webdep/internal/pfx2as"
 	"github.com/webdep/webdep/internal/tldinfo"
 	"github.com/webdep/webdep/internal/worldgen"
 )
 
 // Pipeline enriches raw observations through the infrastructure databases.
+// The databases are read-only at lookup time (the geolocation error model
+// is a deterministic hash of the address), so one Pipeline may enrich many
+// countries concurrently.
 type Pipeline struct {
 	GeoDB   *geoip.DB
 	ASTable *pfx2as.Table
 	Anycast *anycast.Set
 	Owners  *capki.OwnerDB
+
+	// Workers bounds how many countries MeasureWorld enriches at once;
+	// 0 means one worker per CPU. The measured corpus is identical for
+	// every worker count.
+	Workers int
 }
 
 // FromWorld builds a pipeline over a synthetic world's databases.
@@ -115,15 +125,28 @@ func leafStub(issuerOrg string) *x509.Certificate {
 }
 
 // MeasureWorld enriches every country of a world, producing the measured
-// corpus the analyses run on.
+// corpus the analyses run on. Countries are enriched concurrently on a
+// pool of p.Workers goroutines; the result is index-addressed per country
+// and assembled in the world's country order, so the corpus is identical
+// to a sequential measurement. A country with no raw sites fails the whole
+// measurement, cancelling the in-flight enrichment of the others.
 func (p *Pipeline) MeasureWorld(w *worldgen.World) (*dataset.Corpus, error) {
+	ccs := w.Config.Countries
+	lists, err := parallel.Map(context.Background(), p.Workers, len(ccs),
+		func(_ context.Context, i int) (*dataset.CountryList, error) {
+			raw, ok := w.Raw[ccs[i]]
+			if !ok {
+				return nil, fmt.Errorf("pipeline: world has no raw sites for %s", ccs[i])
+			}
+			return p.EnrichCountry(ccs[i], w.Config.Epoch, raw), nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	corpus := dataset.NewCorpus(w.Config.Epoch)
-	for _, cc := range w.Config.Countries {
-		raw, ok := w.Raw[cc]
-		if !ok {
-			return nil, fmt.Errorf("pipeline: world has no raw sites for %s", cc)
-		}
-		corpus.Add(p.EnrichCountry(cc, w.Config.Epoch, raw))
+	corpus.Workers = p.Workers
+	for _, list := range lists {
+		corpus.Add(list)
 	}
 	if err := corpus.Validate(); err != nil {
 		return nil, err
