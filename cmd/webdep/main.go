@@ -24,27 +24,56 @@ import (
 	"github.com/webdep/webdep/internal/dnsserver"
 	"github.com/webdep/webdep/internal/liveworld"
 	"github.com/webdep/webdep/internal/pipeline"
+	"github.com/webdep/webdep/internal/report"
+	"github.com/webdep/webdep/internal/resilience"
 	"github.com/webdep/webdep/internal/resolver"
 	"github.com/webdep/webdep/internal/tlsscan"
 	"github.com/webdep/webdep/internal/worldgen"
 )
 
+// options collects the command's knobs; run consumes one instead of a
+// positional parameter list.
+type options struct {
+	Seed      int64
+	Sites     int
+	Out       string
+	Countries []string
+	Epoch2    bool
+	Live      bool
+	GeoErr    bool
+	Summary   bool
+	Zones     bool
+	Workers   int
+	// FailFast and MinCoverage plumb through to the live crawl's
+	// resilience accounting; see pipeline.Live.
+	FailFast    bool
+	MinCoverage float64
+}
+
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "world seed")
-		sites   = flag.Int("sites", 10000, "sites per country")
-		out     = flag.String("out", "webdep-data", "output directory")
-		subset  = flag.String("countries", "", "comma-separated country subset (default: all 150)")
-		epoch2  = flag.Bool("epoch2", false, "also generate and export the 2025-05 epoch")
-		live    = flag.Bool("live", false, "measure over real sockets (DNS + TLS); use small worlds")
-		geoErr  = flag.Bool("geoerr", false, "enable the 10.6% geolocation error model")
-		summary = flag.Bool("summary", true, "print per-layer score summaries")
-		zones   = flag.Bool("zones", false, "also dump the world's DNS zones as master files")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "measurement concurrency: countries in fast mode, crawl jobs in live mode (output is identical for any value)")
+		seed     = flag.Int64("seed", 1, "world seed")
+		sites    = flag.Int("sites", 10000, "sites per country")
+		out      = flag.String("out", "webdep-data", "output directory")
+		subset   = flag.String("countries", "", "comma-separated country subset (default: all 150)")
+		epoch2   = flag.Bool("epoch2", false, "also generate and export the 2025-05 epoch")
+		live     = flag.Bool("live", false, "measure over real sockets (DNS + TLS); use small worlds")
+		geoErr   = flag.Bool("geoerr", false, "enable the 10.6% geolocation error model")
+		summary  = flag.Bool("summary", true, "print per-layer score summaries")
+		zones    = flag.Bool("zones", false, "also dump the world's DNS zones as master files")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "measurement concurrency: countries in fast mode, crawl jobs in live mode (output is identical for any value)")
+		failFast = flag.Bool("fail-fast", false, "live mode: abort at the first country whose coverage falls below -min-coverage instead of flagging it degraded")
+		minCov   = flag.Float64("min-coverage", 1, "live mode: per-country coverage threshold; countries below it are flagged degraded (negative disables the check)")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *sites, *out, splitList(*subset), *epoch2, *live, *geoErr, *summary, *zones, *workers); err != nil {
+	opts := options{
+		Seed: *seed, Sites: *sites, Out: *out, Countries: splitList(*subset),
+		Epoch2: *epoch2, Live: *live, GeoErr: *geoErr, Summary: *summary,
+		Zones: *zones, Workers: *workers,
+		FailFast: *failFast, MinCoverage: *minCov,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "webdep:", err)
 		os.Exit(1)
 	}
@@ -63,60 +92,63 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(seed int64, sites int, out string, subset []string, epoch2, live, geoErr, summary, zones bool, workers int) error {
-	cfg := worldgen.Config{Seed: seed, SitesPerCountry: sites, Countries: subset}
-	if geoErr {
+func run(opts options) error {
+	cfg := worldgen.Config{Seed: opts.Seed, SitesPerCountry: opts.Sites, Countries: opts.Countries}
+	if opts.GeoErr {
 		cfg.GeoErrorRate = 0.106
 	}
-	fmt.Fprintf(os.Stderr, "building world (seed=%d, sites=%d)...\n", seed, sites)
+	fmt.Fprintf(os.Stderr, "building world (seed=%d, sites=%d)...\n", opts.Seed, opts.Sites)
 	w, err := worldgen.Build(cfg)
 	if err != nil {
 		return err
 	}
 
 	var corpus *dataset.Corpus
-	if live {
-		corpus, err = measureLive(w, workers)
+	if opts.Live {
+		corpus, err = measureLive(w, opts)
 	} else {
 		p := pipeline.FromWorld(w)
-		p.Workers = workers
+		p.Workers = opts.Workers
 		corpus, err = p.MeasureWorld(w)
 	}
 	if err != nil {
 		return err
 	}
-	if err := export(out, corpus); err != nil {
+	if err := export(opts.Out, corpus); err != nil {
 		return err
 	}
-	if zones {
-		if err := exportZones(out, w); err != nil {
+	if opts.Zones {
+		if err := exportZones(opts.Out, w); err != nil {
 			return err
 		}
 	}
-	if summary {
+	if opts.Live {
+		report.CoverageTable(os.Stderr, "crawl coverage", corpus)
+	}
+	if opts.Summary {
 		printSummary(corpus)
 	}
 
-	if epoch2 {
+	if opts.Epoch2 {
 		fmt.Fprintln(os.Stderr, "generating 2025-05 epoch...")
 		next, err := worldgen.BuildNextEpoch(w, "2025-05")
 		if err != nil {
 			return err
 		}
 		p := pipeline.FromWorld(w)
-		p.Workers = workers
+		p.Workers = opts.Workers
 		corpus2, err := p.MeasureWorld(next)
 		if err != nil {
 			return err
 		}
-		if err := export(out, corpus2); err != nil {
+		if err := export(opts.Out, corpus2); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func measureLive(w *worldgen.World, workers int) (*dataset.Corpus, error) {
+func measureLive(w *worldgen.World, opts options) (*dataset.Corpus, error) {
 	fmt.Fprintln(os.Stderr, "serving world over DNS and TLS...")
 	ep, err := liveworld.Serve(w)
 	if err != nil {
@@ -128,11 +160,14 @@ func measureLive(w *worldgen.World, workers int) (*dataset.Corpus, error) {
 		DNS:            resolver.NewClient(ep.DNSAddr),
 		Scanner:        tlsscan.New(w.Owners),
 		TLSAddr:        ep.TLSAddr,
-		Workers:        workers,
+		Workers:        opts.Workers,
 		DetectLanguage: true,
+		Resilience:     resilience.NewPolicy(),
+		FailFast:       opts.FailFast,
+		MinCoverage:    opts.MinCoverage,
 	}
 	fmt.Fprintf(os.Stderr, "crawling %d countries over real sockets (%d workers)...\n",
-		len(w.Config.Countries), workers)
+		len(w.Config.Countries), opts.Workers)
 	// CrawlCorpus serializes progress callbacks, so these per-country lines
 	// never interleave even though countries finish concurrently.
 	return liveP.CrawlCorpus(context.Background(), w.Config.Epoch, w.Config.Countries,
@@ -201,6 +236,11 @@ func printSummary(corpus *dataset.Corpus) {
 		fmt.Printf("%-4s", cc)
 		for _, layer := range countries.Layers {
 			fmt.Printf(" %9.4f", corpus.Get(cc).Distribution(layer).Score())
+		}
+		// Scores over an under-covered crawl reflect measurement loss;
+		// say so next to the numbers.
+		if cov := corpus.CoverageOf(cc); cov != nil && cov.Degraded {
+			fmt.Printf("  DEGRADED (coverage %.1f%%)", cov.Fraction()*100)
 		}
 		fmt.Println()
 	}

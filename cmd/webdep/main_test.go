@@ -20,7 +20,7 @@ func TestSplitListUppercases(t *testing.T) {
 
 func TestRunFastModeExportsCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(5, 120, dir, []string{"TH", "US"}, false, false, false, false, true, 4); err != nil {
+	if err := run(options{Seed: 5, Sites: 120, Out: dir, Countries: []string{"TH", "US"}, Zones: true, Workers: 4}); err != nil {
 		t.Fatal(err)
 	}
 	for _, cc := range []string{"TH", "US"} {
@@ -56,7 +56,7 @@ func TestRunFastModeExportsCSV(t *testing.T) {
 
 func TestRunSecondEpoch(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(5, 80, dir, []string{"BR"}, true, false, false, false, false, 2); err != nil {
+	if err := run(options{Seed: 5, Sites: 80, Out: dir, Countries: []string{"BR"}, Epoch2: true, Workers: 2}); err != nil {
 		t.Fatal(err)
 	}
 	for _, epoch := range []string{"2023-05", "2025-05"} {
@@ -68,7 +68,10 @@ func TestRunSecondEpoch(t *testing.T) {
 
 func TestRunLiveMode(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(5, 25, dir, []string{"CZ"}, false, true, false, false, false, 8); err != nil {
+	// FailFast with the default 1.0 threshold: a healthy in-process world
+	// must crawl with full coverage, so the strictest setting still passes.
+	if err := run(options{Seed: 5, Sites: 25, Out: dir, Countries: []string{"CZ"},
+		Live: true, Workers: 8, FailFast: true, MinCoverage: 1}); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(dir, "2023-05", "CZ.csv")
@@ -97,7 +100,7 @@ func TestRunLiveMode(t *testing.T) {
 }
 
 func TestRunRejectsUnknownCountry(t *testing.T) {
-	if err := run(5, 50, t.TempDir(), []string{"XX"}, false, false, false, false, false, 0); err == nil {
+	if err := run(options{Seed: 5, Sites: 50, Out: t.TempDir(), Countries: []string{"XX"}}); err == nil {
 		t.Fatal("unknown country accepted")
 	}
 }

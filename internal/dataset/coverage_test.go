@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestFieldStatusStrings(t *testing.T) {
+	cases := map[FieldStatus]string{
+		StatusSkipped:  "skipped",
+		StatusOK:       "ok",
+		StatusEmpty:    "empty",
+		StatusLost:     "lost",
+		FieldStatus(9): "status(9)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestSiteOutcomeLost(t *testing.T) {
+	if (SiteOutcome{Host: StatusOK, NS: StatusEmpty}).Lost() {
+		t.Error("outcome without losses reported Lost")
+	}
+	for _, o := range []SiteOutcome{
+		{Host: StatusLost},
+		{NS: StatusLost},
+		{CA: StatusLost},
+		{Language: StatusLost},
+	} {
+		if !o.Lost() {
+			t.Errorf("%+v not reported Lost", o)
+		}
+	}
+}
+
+func TestFieldCoverageFraction(t *testing.T) {
+	f := FieldCoverage{OK: 7, Empty: 1, Lost: 2}
+	if got := f.Attempted(); got != 10 {
+		t.Errorf("Attempted = %d, want 10", got)
+	}
+	if got := f.Fraction(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Fraction = %v, want 0.8", got)
+	}
+	// Authoritative negatives count as covered: the absence was measured.
+	all := FieldCoverage{Empty: 5}
+	if got := all.Fraction(); got != 1 {
+		t.Errorf("all-empty Fraction = %v, want 1", got)
+	}
+	// No attempts (probe disabled everywhere) is full coverage, not 0/0.
+	if got := (FieldCoverage{}).Fraction(); got != 1 {
+		t.Errorf("zero Fraction = %v, want 1", got)
+	}
+}
+
+func TestCoverageObserve(t *testing.T) {
+	cov := &Coverage{Country: "TH"}
+	cov.Observe(SiteOutcome{Host: StatusOK, NS: StatusOK, CA: StatusOK, Language: StatusOK})
+	cov.Observe(SiteOutcome{Host: StatusOK, NS: StatusLost, CA: StatusEmpty, Language: StatusSkipped})
+	cov.Observe(SiteOutcome{Host: StatusLost, NS: StatusOK, CA: StatusOK, Language: StatusSkipped})
+
+	if cov.Sites != 3 {
+		t.Errorf("Sites = %d, want 3", cov.Sites)
+	}
+	want := Coverage{
+		Country:  "TH",
+		Sites:    3,
+		Host:     FieldCoverage{OK: 2, Lost: 1},
+		NS:       FieldCoverage{OK: 2, Lost: 1},
+		CA:       FieldCoverage{OK: 2, Empty: 1},
+		Language: FieldCoverage{OK: 1},
+	}
+	if !reflect.DeepEqual(*cov, want) {
+		t.Errorf("coverage = %+v, want %+v", *cov, want)
+	}
+	if got := cov.Lost(); got != 2 {
+		t.Errorf("Lost = %d, want 2", got)
+	}
+}
+
+// TestCoverageFractionIsWorstField: loss concentrated in one layer must
+// dominate the summary even when the other layers are perfect.
+func TestCoverageFractionIsWorstField(t *testing.T) {
+	cov := &Coverage{Country: "US"}
+	for i := 0; i < 4; i++ {
+		cov.Observe(SiteOutcome{Host: StatusOK, NS: StatusOK, CA: StatusOK, Language: StatusOK})
+	}
+	cov.Observe(SiteOutcome{Host: StatusOK, NS: StatusLost, CA: StatusOK, Language: StatusOK})
+	if got := cov.Fraction(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Fraction = %v, want 0.8 (worst field)", got)
+	}
+	// A fault-free crawl is fully covered.
+	clean := &Coverage{Country: "US"}
+	clean.Observe(SiteOutcome{Host: StatusOK, NS: StatusOK, CA: StatusEmpty, Language: StatusSkipped})
+	if got := clean.Fraction(); got != 1 {
+		t.Errorf("clean Fraction = %v, want 1", got)
+	}
+}
+
+func TestCorpusCoverageAccessors(t *testing.T) {
+	c := NewCorpus("2023-05")
+	// Fast-path corpora carry no coverage: accessors must not panic.
+	if cov := c.CoverageOf("TH"); cov != nil {
+		t.Errorf("CoverageOf on bare corpus = %+v", cov)
+	}
+	if d := c.DegradedCountries(); len(d) != 0 {
+		t.Errorf("DegradedCountries on bare corpus = %v", d)
+	}
+
+	c.SetCoverage(&Coverage{Country: "US", Degraded: true})
+	c.SetCoverage(&Coverage{Country: "TH"})
+	c.SetCoverage(&Coverage{Country: "BR", Degraded: true})
+
+	if cov := c.CoverageOf("TH"); cov == nil || cov.Country != "TH" {
+		t.Errorf("CoverageOf(TH) = %+v", cov)
+	}
+	if got, want := c.DegradedCountries(), []string{"BR", "US"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("DegradedCountries = %v, want %v", got, want)
+	}
+}

@@ -142,6 +142,12 @@ type Corpus struct {
 	// per CPU. Results are identical for every worker count: each country
 	// is computed independently and merged in sorted country order.
 	Workers int
+
+	// CoverageByCountry carries the live crawl's measurement-loss
+	// accounting, keyed by country code. Nil for corpora built without a
+	// live crawl (synthetic fast-path, CSV round trips): those have no
+	// probe loss by construction.
+	CoverageByCountry map[string]*Coverage
 }
 
 // NewCorpus returns an empty corpus for the epoch.
@@ -160,6 +166,35 @@ func (c *Corpus) Countries() []string {
 	out := make([]string, 0, len(c.Lists))
 	for cc := range c.Lists {
 		out = append(out, cc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetCoverage attaches one country's coverage accounting, creating the
+// corpus's coverage map on first use.
+func (c *Corpus) SetCoverage(cov *Coverage) {
+	if c.CoverageByCountry == nil {
+		c.CoverageByCountry = make(map[string]*Coverage)
+	}
+	c.CoverageByCountry[cov.Country] = cov
+}
+
+// CoverageOf returns the coverage accounting for a country, or nil when the
+// corpus carries none (fast-path corpora) or the country was not crawled.
+func (c *Corpus) CoverageOf(country string) *Coverage {
+	return c.CoverageByCountry[country]
+}
+
+// DegradedCountries returns, in sorted order, the countries whose live
+// crawl was flagged degraded. Empty (not nil-panicking) for corpora without
+// coverage accounting.
+func (c *Corpus) DegradedCountries() []string {
+	var out []string
+	for cc, cov := range c.CoverageByCountry {
+		if cov.Degraded {
+			out = append(out, cc)
+		}
 	}
 	sort.Strings(out)
 	return out

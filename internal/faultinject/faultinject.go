@@ -1,0 +1,245 @@
+// Package faultinject is the toolkit's reusable fault-injection harness:
+// lossy, latent, and blackhole proxies for UDP datagrams and TCP
+// connections, promoted out of the resolver's test-local lossy proxy so
+// every live-path component (DNS resolution, TLS scanning, page fetches)
+// can be exercised behind injected network failures.
+//
+// A Proxy listens on one loopback port for both UDP and TCP and forwards
+// traffic to an upstream "host:port", applying an independent Plan per
+// protocol. Binding both protocols to the same port matters for DNS: a
+// resolver that falls back from UDP to TCP on truncation reaches the same
+// proxy address over both transports, exactly as it would a real server.
+//
+// Fault decisions are deterministic functions of the event sequence number
+// (datagram for UDP, accepted connection for TCP), not of a random source,
+// so tests can reason about exactly which events are dropped.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan decides, per event, whether and how to perturb traffic. The zero
+// value forwards everything unchanged.
+type Plan struct {
+	// DropFirst drops the first N events outright.
+	DropFirst int
+	// DropMod/DropModUnder drop every event whose sequence number s
+	// satisfies s % DropMod < DropModUnder — e.g. {10, 3} injects a
+	// deterministic 30% loss pattern. Ignored when DropMod <= 0.
+	DropMod      int
+	DropModUnder int
+	// Blackhole drops every event: datagrams vanish, connections are
+	// accepted and immediately closed.
+	Blackhole bool
+	// Latency delays each forwarded event before it reaches upstream.
+	Latency time.Duration
+}
+
+// drops reports whether the event with the given zero-based sequence
+// number is dropped.
+func (p Plan) drops(seq int) bool {
+	if p.Blackhole {
+		return true
+	}
+	if seq < p.DropFirst {
+		return true
+	}
+	if p.DropMod > 0 && seq%p.DropMod < p.DropModUnder {
+		return true
+	}
+	return false
+}
+
+// Stats counts a proxy's fault decisions per protocol.
+type Stats struct {
+	UDPDropped, UDPForwarded int
+	TCPDropped, TCPForwarded int
+}
+
+// Proxy forwards UDP datagrams and TCP connections from one loopback port
+// to an upstream address, injecting the configured faults. Close releases
+// the listeners.
+type Proxy struct {
+	// Addr is the proxy's "host:port", shared by UDP and TCP.
+	Addr string
+
+	upstream string
+	udpPlan  Plan
+	tcpPlan  Plan
+
+	udp *net.UDPConn
+	tcp net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	udpSeq int
+	tcpSeq int
+	stats  Stats
+}
+
+// upstreamTimeout bounds the proxy's own dials and reads against the
+// upstream so dropped responses cannot wedge forwarding goroutines.
+const upstreamTimeout = 2 * time.Second
+
+// New starts a proxy for the upstream "host:port", applying udpPlan to
+// inbound datagrams and tcpPlan to accepted connections.
+func New(upstream string, udpPlan, tcpPlan Plan) (*Proxy, error) {
+	p := &Proxy{upstream: upstream, udpPlan: udpPlan, tcpPlan: tcpPlan}
+
+	// Bind TCP and UDP to the same loopback port. The port is chosen by
+	// the TCP bind; the matching UDP bind can collide with an unrelated
+	// socket, so retry with fresh ports a few times.
+	var lastErr error
+	for tries := 0; tries < 20; tries++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		port := ln.Addr().(*net.TCPAddr).Port
+		uc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: port})
+		if err != nil {
+			ln.Close()
+			lastErr = err
+			continue
+		}
+		p.tcp, p.udp = ln, uc
+		break
+	}
+	if p.tcp == nil {
+		return nil, fmt.Errorf("faultinject: no shared udp/tcp port: %w", lastErr)
+	}
+	p.Addr = p.tcp.Addr().String()
+
+	p.wg.Add(2)
+	go p.serveUDP()
+	go p.serveTCP()
+	return p, nil
+}
+
+// Close shuts the proxy's listeners down. In-flight forwards finish on
+// their own (bounded by upstreamTimeout).
+func (p *Proxy) Close() error {
+	udpErr := p.udp.Close()
+	tcpErr := p.tcp.Close()
+	p.wg.Wait()
+	if udpErr != nil {
+		return udpErr
+	}
+	return tcpErr
+}
+
+// Stats returns the fault-decision counters so far.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// serveUDP forwards each inbound datagram on its own goroutine, relaying
+// one response back to the client, as the resolver's test proxy did.
+func (p *Proxy) serveUDP() {
+	defer p.wg.Done()
+	upAddr, err := net.ResolveUDPAddr("udp", p.upstream)
+	if err != nil {
+		return
+	}
+	buf := make([]byte, 65535)
+	for {
+		n, client, err := p.udp.ReadFromUDP(buf)
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		seq := p.udpSeq
+		p.udpSeq++
+		drop := p.udpPlan.drops(seq)
+		if drop {
+			p.stats.UDPDropped++
+		} else {
+			p.stats.UDPForwarded++
+		}
+		p.mu.Unlock()
+		if drop {
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		go p.forwardUDP(pkt, client, upAddr)
+	}
+}
+
+func (p *Proxy) forwardUDP(pkt []byte, client, upAddr *net.UDPAddr) {
+	if p.udpPlan.Latency > 0 {
+		time.Sleep(p.udpPlan.Latency)
+	}
+	up, err := net.DialUDP("udp", nil, upAddr)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	if _, err := up.Write(pkt); err != nil {
+		return
+	}
+	up.SetReadDeadline(time.Now().Add(upstreamTimeout))
+	resp := make([]byte, 65535)
+	n, err := up.Read(resp)
+	if err != nil {
+		return
+	}
+	p.udp.WriteToUDP(resp[:n], client)
+}
+
+// serveTCP accepts connections, dropping doomed ones by closing them
+// immediately (the client sees a peer hang-up, like a middlebox reset).
+func (p *Proxy) serveTCP() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.tcp.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		seq := p.tcpSeq
+		p.tcpSeq++
+		drop := p.tcpPlan.drops(seq)
+		if drop {
+			p.stats.TCPDropped++
+		} else {
+			p.stats.TCPForwarded++
+		}
+		p.mu.Unlock()
+		if drop {
+			conn.Close()
+			continue
+		}
+		go p.forwardTCP(conn)
+	}
+}
+
+func (p *Proxy) forwardTCP(client net.Conn) {
+	if p.tcpPlan.Latency > 0 {
+		time.Sleep(p.tcpPlan.Latency)
+	}
+	up, err := net.DialTimeout("tcp", p.upstream, upstreamTimeout)
+	if err != nil {
+		client.Close()
+		return
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		io.Copy(up, client)
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite() // propagate the client's half-close upstream
+		}
+	}()
+	io.Copy(client, up)
+	client.Close()
+	up.Close()
+	<-done
+}

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"context"
 	"crypto/tls"
+	"errors"
 	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +17,7 @@ import (
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/langid"
 	"github.com/webdep/webdep/internal/parallel"
+	"github.com/webdep/webdep/internal/resilience"
 	"github.com/webdep/webdep/internal/resolver"
 	"github.com/webdep/webdep/internal/tldinfo"
 	"github.com/webdep/webdep/internal/tlsscan"
@@ -36,6 +40,34 @@ type Live struct {
 	// DetectLanguage additionally fetches each site's page and runs
 	// language identification on the body.
 	DetectLanguage bool
+
+	// Resilience, when non-nil, governs retries, backoff, budgets, and
+	// circuit breaking for the live probe paths: CrawlCorpus installs it
+	// on the DNS client (unless that client carries its own policy, which
+	// wins) and applies it around TLS scans (breaker kind "tls") and page
+	// fetches (kind "http"). Nil means single-attempt probes apart from
+	// the DNS client's own fixed retry loop.
+	Resilience *resilience.Policy
+	// MinCoverage is the per-country coverage threshold: countries whose
+	// worst per-field coverage falls below it are flagged degraded in the
+	// corpus (or abort the crawl under FailFast). Zero means 1.0 — any
+	// residual probe loss degrades the country; negative disables the
+	// check entirely.
+	MinCoverage float64
+	// FailFast aborts CrawlCorpus with an error at the first country
+	// below MinCoverage instead of flagging it degraded and continuing.
+	FailFast bool
+}
+
+// minCoverage resolves the MinCoverage knob: 0 → 1.0, negative → disabled.
+func (l *Live) minCoverage() float64 {
+	switch {
+	case l.MinCoverage == 0:
+		return 1
+	case l.MinCoverage < 0:
+		return 0
+	}
+	return l.MinCoverage
 }
 
 // CrawlCountry measures one country's domains end-to-end. Per-domain
@@ -54,10 +86,11 @@ func (l *Live) CrawlCountry(cc, epoch string, domains []string) (*dataset.Countr
 // goroutines, so a large country cannot serialize the corpus behind it and
 // small countries do not leave workers idle. Results are index-addressed
 // per (country, rank), making the corpus identical to per-country
-// sequential crawls. The optional progress callback fires once per country
-// as its last site completes; invocations are serialized, so callers may
-// write to a shared stream without interleaving. Cancelling ctx aborts the
-// crawl promptly with the context's error.
+// sequential crawls; coverage accounting is folded serially after the pool
+// drains, so it is deterministic too. The optional progress callback fires
+// once per country as its last site completes; invocations are serialized,
+// so callers may write to a shared stream without interleaving. Cancelling
+// ctx aborts the crawl promptly with the context's error.
 func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, domainsOf func(cc string) []string, progress func(cc string, sites int)) (*dataset.Corpus, error) {
 	if l.DNS == nil || l.Scanner == nil {
 		return nil, fmt.Errorf("pipeline: live crawl needs DNS client and TLS scanner")
@@ -69,16 +102,21 @@ func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, doma
 	if workers <= 0 {
 		workers = 8
 	}
+	if l.Resilience != nil && l.DNS.Policy == nil {
+		l.DNS.Policy = l.Resilience
+	}
 
 	// Flatten the per-country domain lists into one job list so the worker
 	// budget is truly global.
 	domains := make([][]string, len(ccs))
 	sites := make([][]dataset.Website, len(ccs))
+	outcomes := make([][]dataset.SiteOutcome, len(ccs))
 	remaining := make([]int64, len(ccs))
 	var ccOf, domOf []int
 	for i, cc := range ccs {
 		domains[i] = domainsOf(cc)
 		sites[i] = make([]dataset.Website, len(domains[i]))
+		outcomes[i] = make([]dataset.SiteOutcome, len(domains[i]))
 		remaining[i] = int64(len(domains[i]))
 		for j := range domains[i] {
 			ccOf = append(ccOf, i)
@@ -92,7 +130,7 @@ func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, doma
 			return err
 		}
 		i, j := ccOf[k], domOf[k]
-		sites[i][j] = l.crawlOne(ccs[i], domains[i][j], j+1)
+		sites[i][j], outcomes[i][j] = l.crawlOne(ctx, ccs[i], domains[i][j], j+1)
 		if progress != nil && atomic.AddInt64(&remaining[i], -1) == 0 {
 			progressMu.Lock()
 			progress(ccs[i], len(sites[i]))
@@ -104,72 +142,208 @@ func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, doma
 		return nil, err
 	}
 	corpus := dataset.NewCorpus(epoch)
-	corpus.Workers = l.Workers
+	// Record the worker count the crawl actually ran with, not the raw
+	// (possibly zero) knob.
+	corpus.Workers = workers
+	min := l.minCoverage()
 	for i, cc := range ccs {
 		corpus.Add(&dataset.CountryList{Country: cc, Epoch: epoch, Sites: sites[i]})
+		cov := &dataset.Coverage{Country: cc}
+		for _, o := range outcomes[i] {
+			cov.Observe(o)
+		}
+		if frac := cov.Fraction(); frac < min {
+			if l.FailFast {
+				return nil, fmt.Errorf("pipeline: country %s coverage %.3f below minimum %.3f (%d probes lost)",
+					cc, frac, min, cov.Lost())
+			}
+			cov.Degraded = true
+		}
+		corpus.SetCoverage(cov)
 	}
 	return corpus, nil
 }
 
-func (l *Live) crawlOne(cc, domain string, rank int) dataset.Website {
+// outcomeOf maps a probe error onto a coverage status: authoritative
+// negatives are StatusEmpty (the absence was measured), everything else —
+// exhausted transient retries and open circuits — is StatusLost.
+func outcomeOf(err error, classify resilience.Classifier) dataset.FieldStatus {
+	switch {
+	case err == nil:
+		return dataset.StatusOK
+	case errors.Is(err, resilience.ErrCircuitOpen):
+		return dataset.StatusLost
+	case classify(err) == resilience.Permanent:
+		return dataset.StatusEmpty
+	}
+	return dataset.StatusLost
+}
+
+// crawlOne measures one site and classifies every probe's outcome so the
+// crawl can distinguish "the field is absent" from "the measurement was
+// lost".
+func (l *Live) crawlOne(ctx context.Context, cc, domain string, rank int) (dataset.Website, dataset.SiteOutcome) {
 	w := dataset.Website{
 		Domain:  domain,
 		Country: cc,
 		Rank:    rank,
 		TLD:     tldinfo.Extract(domain),
 	}
+	var o dataset.SiteOutcome
 
 	// Hosting: A lookup, then geo/AS/anycast joins on the first address.
-	if addrs, err := l.DNS.LookupA(domain); err == nil && len(addrs) > 0 {
+	addrs, err := l.DNS.LookupAContext(ctx, domain)
+	switch {
+	case err != nil:
+		o.Host = outcomeOf(err, resolver.Classify)
+	case len(addrs) == 0:
+		o.Host = dataset.StatusEmpty
+	default:
 		l.annotateHost(&w, addrs[0])
+		o.Host = dataset.StatusOK
 	}
 
 	// DNS infrastructure: NS lookup, using volunteered glue when present
 	// and falling back to an explicit A lookup for the nameserver host.
-	if nss, glue, err := l.DNS.LookupNSGlued(domain); err == nil && len(nss) > 0 {
+	nss, glue, err := l.DNS.LookupNSGluedContext(ctx, domain)
+	switch {
+	case err != nil:
+		o.NS = outcomeOf(err, resolver.Classify)
+	case len(nss) == 0:
+		o.NS = dataset.StatusEmpty
+	default:
 		if addrs := glue[nss[0]]; len(addrs) > 0 {
 			l.annotateNS(&w, addrs[0])
-		} else if nsAddrs, err := l.DNS.LookupA(nss[0]); err == nil && len(nsAddrs) > 0 {
+			o.NS = dataset.StatusOK
+			break
+		}
+		nsAddrs, err := l.DNS.LookupAContext(ctx, nss[0])
+		switch {
+		case err != nil:
+			o.NS = outcomeOf(err, resolver.Classify)
+		case len(nsAddrs) == 0:
+			o.NS = dataset.StatusEmpty
+		default:
 			l.annotateNS(&w, nsAddrs[0])
+			o.NS = dataset.StatusOK
 		}
 	}
 
 	// CA: real TLS handshake with SNI selecting the site.
-	if res, err := l.Scanner.Scan(l.TLSAddr, domain); err == nil {
+	if res, err := l.scanTLS(ctx, domain); err == nil {
 		w.CAOwner = res.CAOwner
 		w.CAOwnerCountry = res.CAOwnerCountry
+		o.CA = dataset.StatusOK
+	} else {
+		o.CA = outcomeOf(err, resilience.DefaultClassify)
 	}
 
 	if l.DetectLanguage {
-		if body, err := fetchBody(l.TLSAddr, domain); err == nil {
+		if body, err := l.fetchPage(ctx, domain); err == nil {
 			w.Language = langid.Detect(body)
+			o.Language = dataset.StatusOK
+		} else {
+			o.Language = outcomeOf(err, httpClassify)
 		}
 	}
-	return w
+	return w, o
 }
 
-// fetchBody performs a minimal HTTPS GET against the endpoint with the
-// domain as SNI and Host, returning the response body.
-func fetchBody(addr, domain string) (string, error) {
-	dialer := &net.Dialer{Timeout: 3 * time.Second}
-	conn, err := tls.DialWithDialer(dialer, "tcp", addr, &tls.Config{
-		ServerName:         domain,
-		InsecureSkipVerify: true, // synthetic roots; CA labeling happens in the scanner
-		MinVersion:         tls.VersionTLS12,
+// scanTLS performs the CA probe, under the resilience policy when one is
+// configured (breaker kind "tls").
+func (l *Live) scanTLS(ctx context.Context, domain string) (*tlsscan.Result, error) {
+	if l.Resilience == nil {
+		return l.Scanner.ScanContext(ctx, l.TLSAddr, domain)
+	}
+	var res *tlsscan.Result
+	err := l.Resilience.Do(ctx, "tls", func(ctx context.Context) error {
+		var err error
+		res, err = l.Scanner.ScanContext(ctx, l.TLSAddr, domain)
+		return err
 	})
+	return res, err
+}
+
+// fetchPage fetches the site's page body, under the resilience policy when
+// one is configured (breaker kind "http"). Server-side 5xx responses are
+// transient — the page may exist on retry — while other non-2xx statuses
+// are authoritative negatives.
+func (l *Live) fetchPage(ctx context.Context, domain string) (string, error) {
+	if l.Resilience == nil {
+		return fetchBody(ctx, l.TLSAddr, domain)
+	}
+	var body string
+	err := l.Resilience.DoClassified(ctx, "http", httpClassify, func(ctx context.Context) error {
+		var err error
+		body, err = fetchBody(ctx, l.TLSAddr, domain)
+		return err
+	})
+	return body, err
+}
+
+// HTTPStatusError reports a non-2xx status from a page fetch.
+type HTTPStatusError struct{ Code int }
+
+func (e *HTTPStatusError) Error() string {
+	return fmt.Sprintf("pipeline: HTTP status %d", e.Code)
+}
+
+// httpClassify maps page-fetch errors onto resilience classes: 5xx is
+// transient, any other HTTP status permanent, and everything else falls
+// through to the default network classification.
+func httpClassify(err error) resilience.Class {
+	var se *HTTPStatusError
+	if errors.As(err, &se) {
+		if se.Code >= 500 {
+			return resilience.Transient
+		}
+		return resilience.Permanent
+	}
+	return resilience.DefaultClassify(err)
+}
+
+// maxBodyBytes bounds how much of a response a page fetch will read; pages
+// beyond the cap are truncated, which is ample for language detection.
+const maxBodyBytes = 1 << 20
+
+// fetchBody performs a minimal HTTPS GET against the endpoint with the
+// domain as SNI and Host, returning the response body. Non-2xx responses
+// are returned as *HTTPStatusError without reading the body — an error
+// page must not masquerade as site content downstream (e.g. language
+// detection). The read is bounded by maxBodyBytes and by ctx.
+func fetchBody(ctx context.Context, addr, domain string) (string, error) {
+	dialer := &tls.Dialer{
+		NetDialer: &net.Dialer{Timeout: 3 * time.Second},
+		Config: &tls.Config{
+			ServerName:         domain,
+			InsecureSkipVerify: true, // synthetic roots; CA labeling happens in the scanner
+			MinVersion:         tls.VersionTLS12,
+		},
+	}
+	nc, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return "", err
 	}
+	conn := nc.(*tls.Conn)
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(3 * time.Second)); err != nil {
+	dl := time.Now().Add(3 * time.Second)
+	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
+		dl = d
+	}
+	if err := conn.SetDeadline(dl); err != nil {
 		return "", err
 	}
 	fmt.Fprintf(conn, "GET / HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n", domain)
-	reader := bufio.NewReader(conn)
-	// Skip status line and headers.
-	if _, err := reader.ReadString('\n'); err != nil {
+	reader := bufio.NewReader(io.LimitReader(conn, maxBodyBytes))
+	status, err := reader.ReadString('\n')
+	if err != nil {
 		return "", err
 	}
+	code, err := parseStatus(status)
+	if err != nil {
+		return "", err
+	}
+	// Skip headers.
 	for {
 		line, err := reader.ReadString('\n')
 		if err != nil {
@@ -178,6 +352,9 @@ func fetchBody(addr, domain string) (string, error) {
 		if strings.TrimSpace(line) == "" {
 			break
 		}
+	}
+	if code < 200 || code >= 300 {
+		return "", &HTTPStatusError{Code: code}
 	}
 	var body strings.Builder
 	buf := make([]byte, 4096)
@@ -189,4 +366,17 @@ func fetchBody(addr, domain string) (string, error) {
 		}
 	}
 	return body.String(), nil
+}
+
+// parseStatus extracts the status code from an HTTP/1.x status line.
+func parseStatus(line string) (int, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "HTTP/") {
+		return 0, fmt.Errorf("pipeline: malformed status line %q", strings.TrimSpace(line))
+	}
+	code, err := strconv.Atoi(fields[1])
+	if err != nil || code < 100 || code > 599 {
+		return 0, fmt.Errorf("pipeline: malformed status code in %q", strings.TrimSpace(line))
+	}
+	return code, nil
 }

@@ -40,6 +40,37 @@ func InsularityTable(w io.Writer, title string, rows []analysis.CountryScore) {
 	}
 }
 
+// CoverageTable renders a live crawl's measurement-loss accounting: one
+// row per country with the per-field coverage fractions, the number of
+// probes lost to transient failures, and a DEGRADED marker for countries
+// below the crawl's minimum coverage.
+func CoverageTable(w io.Writer, title string, corpus *dataset.Corpus) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if len(corpus.CoverageByCountry) == 0 {
+		fmt.Fprintln(w, "(no coverage accounting: corpus was not produced by a live crawl)")
+		return
+	}
+	ccs := make([]string, 0, len(corpus.CoverageByCountry))
+	for cc := range corpus.CoverageByCountry {
+		ccs = append(ccs, cc)
+	}
+	sort.Strings(ccs)
+	fmt.Fprintf(w, "%-4s %6s %7s %7s %7s %7s %6s  %s\n",
+		"CC", "sites", "host", "dns", "ca", "lang", "lost", "status")
+	for _, cc := range ccs {
+		cov := corpus.CoverageByCountry[cc]
+		status := "ok"
+		if cov.Degraded {
+			status = "DEGRADED"
+		}
+		fmt.Fprintf(w, "%-4s %6d %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6d  %s\n",
+			cc, cov.Sites,
+			cov.Host.Fraction()*100, cov.NS.Fraction()*100,
+			cov.CA.Fraction()*100, cov.Language.Fraction()*100,
+			cov.Lost(), status)
+	}
+}
+
 // SubregionTable renders Figures 9/10 aggregates.
 func SubregionTable(w io.Writer, title string, aggs []analysis.RegionAggregate) {
 	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))

@@ -180,3 +180,43 @@ func TestHelpers(t *testing.T) {
 		t.Errorf("bar zero max = %q", got)
 	}
 }
+
+func TestCoverageTable(t *testing.T) {
+	c := dataset.NewCorpus("2023-05")
+	healthy := &dataset.Coverage{Country: "TH"}
+	for i := 0; i < 10; i++ {
+		healthy.Observe(dataset.SiteOutcome{
+			Host: dataset.StatusOK, NS: dataset.StatusOK,
+			CA: dataset.StatusOK, Language: dataset.StatusSkipped,
+		})
+	}
+	lossy := &dataset.Coverage{Country: "US", Degraded: true}
+	for i := 0; i < 10; i++ {
+		o := dataset.SiteOutcome{Host: dataset.StatusOK, NS: dataset.StatusOK, CA: dataset.StatusOK}
+		if i < 5 {
+			o.NS = dataset.StatusLost
+		}
+		lossy.Observe(o)
+	}
+	c.SetCoverage(healthy)
+	c.SetCoverage(lossy)
+
+	var buf bytes.Buffer
+	CoverageTable(&buf, "Crawl coverage", c)
+	out := buf.String()
+	for _, want := range []string{"Crawl coverage", "TH", "US", "DEGRADED", "50.0%", "100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "DEGRADED") != 1 {
+		t.Errorf("DEGRADED marker count wrong:\n%s", out)
+	}
+
+	// A fast-path corpus renders a placeholder, not an empty table.
+	var empty bytes.Buffer
+	CoverageTable(&empty, "Crawl coverage", dataset.NewCorpus("x"))
+	if !strings.Contains(empty.String(), "no coverage accounting") {
+		t.Errorf("placeholder missing:\n%s", empty.String())
+	}
+}

@@ -1,0 +1,225 @@
+package resilience
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BreakerState is a circuit breaker's current disposition.
+type BreakerState int
+
+const (
+	// Closed: operations flow normally.
+	Closed BreakerState = iota
+	// Open: operations are rejected until the cooldown elapses.
+	Open
+	// HalfOpen: one probe operation is allowed through; its outcome
+	// decides whether the breaker closes again or reopens.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// Breaker is a consecutive-failure circuit breaker with half-open probing.
+// After FailureThreshold consecutive transient failures it opens and
+// rejects operations; once Cooldown elapses it admits a single probe, and
+// the probe's outcome either closes the breaker or reopens it for another
+// cooldown. The zero value is usable and uses the defaults.
+type Breaker struct {
+	// FailureThreshold is the consecutive-failure count that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe (default 1s).
+	Cooldown time.Duration
+
+	// now is the clock, replaceable in tests.
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.FailureThreshold > 0 {
+		return b.FailureThreshold
+	}
+	return 5
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return time.Second
+}
+
+// Allow reports whether an operation may proceed, transitioning an open
+// breaker to half-open when its cooldown has elapsed. In the half-open
+// state only one in-flight probe is admitted at a time.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.clock().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = HalfOpen
+		b.probing = true
+		return true
+	default: // HalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// RecordSuccess closes the breaker and resets the failure streak.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = Closed
+	b.failures = 0
+	b.probing = false
+}
+
+// RecordFailure notes a transient failure: it reopens a half-open breaker
+// immediately and opens a closed one once the streak reaches the
+// threshold.
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = b.clock()
+	case Closed:
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.state = Open
+			b.openedAt = b.clock()
+		}
+	}
+	// Open: a straggling failure from before the breaker opened changes
+	// nothing.
+}
+
+// State returns the breaker's current state without side effects.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSet lazily maintains one Breaker per target kind ("dns", "tls",
+// "http", ...), all sharing the set's threshold and cooldown.
+type BreakerSet struct {
+	// FailureThreshold and Cooldown configure every breaker the set
+	// creates; zero values use the Breaker defaults.
+	FailureThreshold int
+	Cooldown         time.Duration
+
+	// now is the test clock propagated to created breakers.
+	now func() time.Time
+
+	mu     sync.Mutex
+	byKind map[string]*Breaker
+}
+
+// NewBreakerSet returns a set creating breakers with the given threshold
+// and cooldown (zero values use the Breaker defaults).
+func NewBreakerSet(failureThreshold int, cooldown time.Duration) *BreakerSet {
+	return &BreakerSet{FailureThreshold: failureThreshold, Cooldown: cooldown}
+}
+
+// Breaker returns the breaker for a kind, creating it on first use.
+func (s *BreakerSet) Breaker(kind string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byKind == nil {
+		s.byKind = make(map[string]*Breaker)
+	}
+	b, ok := s.byKind[kind]
+	if !ok {
+		b = &Breaker{FailureThreshold: s.FailureThreshold, Cooldown: s.Cooldown, now: s.now}
+		s.byKind[kind] = b
+	}
+	return b
+}
+
+// Kinds returns the kinds with instantiated breakers, sorted.
+func (s *BreakerSet) Kinds() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.byKind))
+	for kind := range s.byKind {
+		out = append(out, kind)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Budget is a shared, concurrency-safe allowance of retries. Every retry
+// (not first attempt) consumes one unit; an exhausted budget degrades all
+// operations sharing it to single attempts, bounding the extra load a
+// large-scale outage can induce.
+type Budget struct {
+	remaining atomic.Int64
+}
+
+// NewBudget returns a budget allowing n retries in total.
+func NewBudget(n int) *Budget {
+	b := &Budget{}
+	b.remaining.Store(int64(n))
+	return b
+}
+
+// Take consumes one retry from the budget, reporting false when none
+// remain. A nil budget is unlimited.
+func (b *Budget) Take() bool {
+	if b == nil {
+		return true
+	}
+	return b.remaining.Add(-1) >= 0
+}
+
+// Remaining returns how many retries are left, never negative. A nil
+// (unlimited) budget reports 0.
+func (b *Budget) Remaining() int {
+	if b == nil {
+		return 0
+	}
+	if n := b.remaining.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}

@@ -1,0 +1,259 @@
+// Package resilience is the live measurement's fault-tolerance policy
+// layer. A Policy runs probe operations with per-attempt timeouts and
+// jittered exponential backoff under a bounded retry budget; a Breaker (or
+// a per-target-kind BreakerSet) stops hammering an endpoint that keeps
+// failing and probes it again after a cooldown. Every wait is
+// context-aware, so cancelling a crawl aborts sleeping retries promptly.
+//
+// Failures are divided into classes by a Classifier: transient failures
+// (timeouts, connection resets, peers hanging up mid-exchange) are worth
+// retrying; permanent ones (authoritative negatives like NXDOMAIN, protocol
+// violations) are answers in their own right and retrying cannot change
+// them. Only transient failures consume retry budget or trip breakers —
+// a nameserver correctly answering NXDOMAIN is healthy infrastructure.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Class is the retry-relevant classification of an operation's outcome.
+type Class int
+
+const (
+	// Success: the operation completed.
+	Success Class = iota
+	// Transient: the failure may heal on its own; retrying is worthwhile.
+	Transient
+	// Permanent: an authoritative failure retrying cannot change.
+	Permanent
+)
+
+// Classifier maps an operation's error to its class. nil errors must map
+// to Success.
+type Classifier func(error) Class
+
+// DefaultClassify is the network-generic classifier: timeouts and other
+// net.Errors are transient, as are peers hanging up mid-exchange (EOF) and
+// expired per-attempt deadlines; anything else is permanent.
+func DefaultClassify(err error) Class {
+	switch {
+	case err == nil:
+		return Success
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// A fired per-attempt deadline surfaces as a context error and is
+		// retryable; Do re-checks the parent context before retrying, so a
+		// cancelled caller still aborts immediately.
+		return Transient
+	case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+		return Transient
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return Transient
+	}
+	return Permanent
+}
+
+// ErrCircuitOpen is returned (wrapped) when a breaker rejects an operation
+// without attempting it.
+var ErrCircuitOpen = errors.New("resilience: circuit open")
+
+// Policy configures how operations are retried. The zero value runs a
+// single attempt with no timeout — resilience off. Fields may be shared by
+// many goroutines once the policy is in use.
+type Policy struct {
+	// MaxAttempts is the total number of attempts per operation, first try
+	// included. Values below 1 mean 1 (no retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between consecutive retries (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized, in [0, 1]:
+	// a delay d becomes d * (1 - Jitter/2 + Jitter*u) for uniform u.
+	// Default 0.5; negative disables jitter. Jitter spreads synchronized
+	// retries apart; it never affects measurement results, only timing.
+	Jitter float64
+	// Seed makes the jitter sequence reproducible (default 1).
+	Seed int64
+	// AttemptTimeout bounds each individual attempt via a derived context
+	// deadline. 0 leaves attempts bounded only by the operation itself.
+	AttemptTimeout time.Duration
+	// Classify maps errors to classes when the caller of Do does not
+	// supply its own classifier. nil means DefaultClassify.
+	Classify Classifier
+	// Budget, when non-nil, bounds the total number of retries across all
+	// operations sharing the policy. An exhausted budget turns every
+	// operation into a single attempt.
+	Budget *Budget
+	// Breakers, when non-nil, short-circuits operations against target
+	// kinds that keep failing.
+	Breakers *BreakerSet
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// NewPolicy returns a policy with crawl-suitable defaults: 4 attempts,
+// 50ms base delay doubling to a 2s cap with 50% jitter.
+func NewPolicy() *Policy {
+	return &Policy{MaxAttempts: 4}
+}
+
+// Do runs op under the policy using the policy's classifier, identifying
+// the target by kind for circuit breaking.
+func (p *Policy) Do(ctx context.Context, kind string, op func(context.Context) error) error {
+	return p.DoClassified(ctx, kind, p.Classify, op)
+}
+
+// DoClassified runs op under the policy with an explicit classifier
+// (falling back to the policy's, then to DefaultClassify). It returns nil
+// on success, the operation's error once it is classified permanent or the
+// retry budget is exhausted, a wrapped ErrCircuitOpen when the kind's
+// breaker is open, or the context's error when the caller cancelled.
+func (p *Policy) DoClassified(ctx context.Context, kind string, classify Classifier, op func(context.Context) error) error {
+	if classify == nil {
+		classify = p.Classify
+	}
+	if classify == nil {
+		classify = DefaultClassify
+	}
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var br *Breaker
+	if p.Breakers != nil {
+		br = p.Breakers.Breaker(kind)
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if br != nil && !br.Allow() {
+			return fmt.Errorf("resilience: %s: %w", kind, ErrCircuitOpen)
+		}
+		err := p.attempt(ctx, op)
+		if parent := ctx.Err(); parent != nil {
+			// The caller cancelled; the attempt's error (if any) is just
+			// the cancellation surfacing through the operation.
+			return parent
+		}
+		switch classify(err) {
+		case Success:
+			if br != nil {
+				br.RecordSuccess()
+			}
+			return nil
+		case Permanent:
+			// An authoritative negative is an answer, not an outage: the
+			// target is healthy, so the breaker records success.
+			if br != nil {
+				br.RecordSuccess()
+			}
+			return err
+		default:
+			if br != nil {
+				br.RecordFailure()
+			}
+			lastErr = err
+		}
+		if attempt == attempts-1 || !p.Budget.Take() {
+			break
+		}
+		if err := p.sleep(ctx, p.delay(attempt)); err != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// attempt runs op once under the per-attempt timeout.
+func (p *Policy) attempt(ctx context.Context, op func(context.Context) error) error {
+	if p.AttemptTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		defer cancel()
+	}
+	return op(ctx)
+}
+
+// delay computes the jittered backoff after the given zero-based attempt.
+func (p *Policy) delay(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxDelay := p.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = 2 * time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= mult
+		if d >= float64(maxDelay) {
+			d = float64(maxDelay)
+			break
+		}
+	}
+	jitter := p.Jitter
+	switch {
+	case jitter == 0:
+		jitter = 0.5
+	case jitter < 0: // negative disables jitter entirely
+		jitter = 0
+	case jitter > 1:
+		jitter = 1
+	}
+	if jitter > 0 {
+		d *= 1 - jitter/2 + jitter*p.random()
+	}
+	if d > float64(maxDelay) {
+		d = float64(maxDelay)
+	}
+	return time.Duration(d)
+}
+
+func (p *Policy) random() float64 {
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	if p.rng == nil {
+		seed := p.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p.rng = rand.New(rand.NewSource(seed))
+	}
+	return p.rng.Float64()
+}
+
+// sleep waits for d or until ctx is cancelled, whichever comes first.
+func (p *Policy) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

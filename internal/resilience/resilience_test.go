@@ -1,0 +1,325 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// errTimeout is a synthetic net.Error for classification tests.
+type errTimeout struct{}
+
+func (errTimeout) Error() string   { return "synthetic timeout" }
+func (errTimeout) Timeout() bool   { return true }
+func (errTimeout) Temporary() bool { return true }
+
+var errPermanent = errors.New("authoritative no")
+
+// fastPolicy returns a retry-happy policy whose sleeps are negligible.
+func fastPolicy(attempts int) *Policy {
+	return &Policy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    10 * time.Microsecond,
+	}
+}
+
+func TestDefaultClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, Success},
+		{errTimeout{}, Transient},
+		{&net.OpError{Op: "dial", Err: errors.New("connection refused")}, Transient},
+		{io.EOF, Transient},
+		{io.ErrUnexpectedEOF, Transient},
+		{context.DeadlineExceeded, Transient},
+		{context.Canceled, Transient},
+		{fmt.Errorf("wrap: %w", errTimeout{}), Transient},
+		{errors.New("some application error"), Permanent},
+	}
+	for _, c := range cases {
+		if got := DefaultClassify(c.err); got != c.want {
+			t.Errorf("DefaultClassify(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestDoRetriesTransientUntilSuccess(t *testing.T) {
+	p := fastPolicy(5)
+	calls := 0
+	err := p.Do(context.Background(), "t", func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errTimeout{}
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestDoStopsOnPermanent(t *testing.T) {
+	p := fastPolicy(5)
+	calls := 0
+	err := p.Do(context.Background(), "t", func(context.Context) error {
+		calls++
+		return errPermanent
+	})
+	if !errors.Is(err, errPermanent) || calls != 1 {
+		t.Fatalf("err = %v, calls = %d (permanent must not retry)", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	p := fastPolicy(3)
+	calls := 0
+	err := p.Do(context.Background(), "t", func(context.Context) error {
+		calls++
+		return errTimeout{}
+	})
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) {
+		t.Fatalf("err = %v, want last transient error", err)
+	}
+}
+
+func TestDoZeroValuePolicySingleAttempt(t *testing.T) {
+	var p Policy
+	calls := 0
+	p.Do(context.Background(), "t", func(context.Context) error {
+		calls++
+		return errTimeout{}
+	})
+	if calls != 1 {
+		t.Fatalf("zero-value policy ran %d attempts, want 1", calls)
+	}
+}
+
+func TestDoBudgetBoundsRetries(t *testing.T) {
+	p := fastPolicy(10)
+	p.Budget = NewBudget(3)
+	calls := 0
+	op := func(context.Context) error {
+		calls++
+		return errTimeout{}
+	}
+	// First operation: 1 attempt + 3 budgeted retries.
+	p.Do(context.Background(), "t", op)
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4 (budget of 3 retries)", calls)
+	}
+	// Budget exhausted: subsequent operations get a single attempt.
+	calls = 0
+	p.Do(context.Background(), "t", op)
+	if calls != 1 {
+		t.Fatalf("calls after exhaustion = %d, want 1", calls)
+	}
+	if p.Budget.Remaining() != 0 {
+		t.Errorf("Remaining = %d", p.Budget.Remaining())
+	}
+}
+
+func TestNilBudgetUnlimited(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 100; i++ {
+		if !b.Take() {
+			t.Fatal("nil budget refused a retry")
+		}
+	}
+	if b.Remaining() != 0 {
+		t.Error("nil budget Remaining != 0")
+	}
+}
+
+func TestDoCancelledContextAborts(t *testing.T) {
+	p := fastPolicy(100)
+	p.BaseDelay = time.Hour // a retry sleep would hang the test
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Do(ctx, "t", func(context.Context) error {
+			calls++
+			cancel()
+			return errTimeout{}
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not abort on cancellation")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d after cancellation", calls)
+	}
+}
+
+func TestDoAttemptTimeout(t *testing.T) {
+	p := fastPolicy(2)
+	p.AttemptTimeout = 10 * time.Millisecond
+	deadlines := 0
+	err := p.Do(context.Background(), "t", func(ctx context.Context) error {
+		if _, ok := ctx.Deadline(); ok {
+			deadlines++
+		}
+		<-ctx.Done() // simulate an attempt blocked until its deadline
+		return ctx.Err()
+	})
+	if deadlines != 2 {
+		t.Errorf("attempts with deadline = %d, want 2", deadlines)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want deadline exceeded from last attempt", err)
+	}
+}
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := &Policy{BaseDelay: 10 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+		Multiplier: 2, Jitter: -1}
+	want := []time.Duration{10, 20, 40, 50, 50}
+	for i, w := range want {
+		if got := p.delay(i); got != w*time.Millisecond {
+			t.Errorf("delay(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayJitterBoundsAndDeterminism(t *testing.T) {
+	a := &Policy{BaseDelay: 100 * time.Millisecond, Seed: 7}
+	b := &Policy{BaseDelay: 100 * time.Millisecond, Seed: 7}
+	for i := 0; i < 50; i++ {
+		da, db := a.delay(0), b.delay(0)
+		if da != db {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, da, db)
+		}
+		// Default jitter 0.5: delay in [75ms, 125ms].
+		if da < 75*time.Millisecond || da > 125*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [75ms, 125ms]", da)
+		}
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := &Breaker{FailureThreshold: 3, Cooldown: time.Hour}
+	for i := 0; i < 2; i++ {
+		b.RecordFailure()
+		if !b.Allow() {
+			t.Fatalf("breaker open after %d failures, threshold 3", i+1)
+		}
+	}
+	b.RecordFailure()
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted an operation inside cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b := &Breaker{FailureThreshold: 3}
+	b.RecordFailure()
+	b.RecordFailure()
+	b.RecordSuccess()
+	b.RecordFailure()
+	b.RecordFailure()
+	if b.State() != Closed {
+		t.Fatal("success did not reset the failure streak")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	current := time.Unix(1000, 0)
+	b := &Breaker{FailureThreshold: 1, Cooldown: 10 * time.Second,
+		now: func() time.Time { return current }}
+	b.RecordFailure()
+	if b.Allow() {
+		t.Fatal("breaker should be open")
+	}
+	current = current.Add(11 * time.Second)
+	// Cooldown elapsed: exactly one probe admitted.
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted in half-open state")
+	}
+	// Failed probe reopens for another cooldown.
+	b.RecordFailure()
+	if b.State() != Open || b.Allow() {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	// Another cooldown, successful probe closes.
+	current = current.Add(11 * time.Second)
+	if !b.Allow() {
+		t.Fatal("reopened breaker rejected probe after second cooldown")
+	}
+	b.RecordSuccess()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestDoCircuitOpenFailsFast(t *testing.T) {
+	p := fastPolicy(1)
+	p.Breakers = NewBreakerSet(2, time.Hour)
+	calls := 0
+	op := func(context.Context) error {
+		calls++
+		return errTimeout{}
+	}
+	p.Do(context.Background(), "dns", op)
+	p.Do(context.Background(), "dns", op)
+	err := p.Do(context.Background(), "dns", op)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d: open breaker must not dispatch operations", calls)
+	}
+	// Other kinds are unaffected.
+	if err := p.Do(context.Background(), "tls", func(context.Context) error { return nil }); err != nil {
+		t.Fatalf("independent kind: %v", err)
+	}
+	if got := p.Breakers.Kinds(); len(got) != 2 || got[0] != "dns" || got[1] != "tls" {
+		t.Errorf("Kinds = %v", got)
+	}
+}
+
+func TestDoPermanentDoesNotTripBreaker(t *testing.T) {
+	p := fastPolicy(1)
+	p.Breakers = NewBreakerSet(1, time.Hour)
+	for i := 0; i < 5; i++ {
+		err := p.Do(context.Background(), "dns", func(context.Context) error { return errPermanent })
+		if !errors.Is(err, errPermanent) {
+			t.Fatalf("iteration %d: err = %v (breaker tripped on permanent)", i, err)
+		}
+	}
+	if p.Breakers.Breaker("dns").State() != Closed {
+		t.Error("permanent failures opened the breaker")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for s, want := range map[BreakerState]string{Closed: "closed", Open: "open", HalfOpen: "half-open"} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

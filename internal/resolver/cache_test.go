@@ -8,7 +8,20 @@ import (
 
 	"github.com/webdep/webdep/internal/dnsserver"
 	"github.com/webdep/webdep/internal/dnswire"
+	"github.com/webdep/webdep/internal/faultinject"
 )
+
+// lossyProxy fronts upstream with a fault-injection proxy applying the
+// given UDP plan (TCP passes through untouched).
+func lossyProxy(t *testing.T, upstream string, plan faultinject.Plan) string {
+	t.Helper()
+	p, err := faultinject.New(upstream, plan, faultinject.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p.Addr
+}
 
 func startCacheWorld(t *testing.T) (string, *dnsserver.Server) {
 	t.Helper()
@@ -154,7 +167,7 @@ func TestCacheNS(t *testing.T) {
 // recovers.
 func TestRetriesThroughLossyPath(t *testing.T) {
 	addr, _ := startCacheWorld(t)
-	proxy := startLossyUDPProxy(t, addr, 2) // drop the first two datagrams
+	proxy := lossyProxy(t, addr, faultinject.Plan{DropFirst: 2})
 
 	c := NewClient(proxy)
 	c.Timeout = 300 * time.Millisecond
@@ -170,7 +183,7 @@ func TestRetriesThroughLossyPath(t *testing.T) {
 
 func TestLossBeyondRetriesFails(t *testing.T) {
 	addr, _ := startCacheWorld(t)
-	proxy := startLossyUDPProxy(t, addr, 1000) // drop everything
+	proxy := lossyProxy(t, addr, faultinject.Plan{Blackhole: true})
 
 	c := NewClient(proxy)
 	c.Timeout = 150 * time.Millisecond

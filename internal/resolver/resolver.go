@@ -6,6 +6,7 @@
 package resolver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"github.com/webdep/webdep/internal/dnswire"
+	"github.com/webdep/webdep/internal/resilience"
 )
 
 // Errors surfaced by the resolver.
@@ -33,9 +35,16 @@ type Client struct {
 	Server string
 	// Timeout bounds each network attempt. Default 2s.
 	Timeout time.Duration
-	// Retries is the number of additional UDP attempts after the first.
-	// Default 2.
+	// Retries is the number of additional attempts after the first,
+	// used when Policy is nil. Default 2.
 	Retries int
+	// Policy, when non-nil, replaces the fixed Retries loop with the
+	// resilience layer: jittered exponential backoff, per-attempt
+	// timeouts, a bounded retry budget, and circuit breaking keyed
+	// "dns:<server>". Transient failures (timeouts, datagram loss) are
+	// retried under the policy; authoritative negatives (NXDOMAIN,
+	// REFUSED) never are.
+	Policy *resilience.Policy
 
 	// rng guards query-ID generation.
 	mu  sync.Mutex
@@ -62,40 +71,89 @@ func (c *Client) nextID() uint16 {
 	return uint16(c.rng.Intn(1 << 16))
 }
 
+// Classify maps resolver errors onto resilience classes: authoritative
+// negatives (NXDOMAIN, REFUSED) and protocol violations (ID mismatch) are
+// permanent — retrying cannot change the answer — while timeouts and
+// SERVFAIL are transient. Anything else falls through to
+// resilience.DefaultClassify, which covers raw network errors.
+func Classify(err error) resilience.Class {
+	switch {
+	case err == nil:
+		return resilience.Success
+	case errors.Is(err, ErrNXDomain), errors.Is(err, ErrRefused), errors.Is(err, ErrIDMismatch):
+		return resilience.Permanent
+	case errors.Is(err, ErrTimeout), errors.Is(err, ErrServFail):
+		return resilience.Transient
+	}
+	return resilience.DefaultClassify(err)
+}
+
 // Exchange sends one query and returns the parsed response, retrying over
 // UDP and falling back to TCP when the answer is truncated. DNS-level
 // failures (NXDOMAIN, SERVFAIL, REFUSED) are returned as errors alongside
 // the response carrying the code.
 func (c *Client) Exchange(name string, qtype uint16) (*dnswire.Message, error) {
+	return c.ExchangeContext(context.Background(), name, qtype)
+}
+
+// ExchangeContext is Exchange bounded by a context: cancelling ctx aborts
+// in-flight attempts and pending retry backoffs. When c.Policy is set the
+// retry schedule, budget, and circuit breaking come from the policy;
+// otherwise the fixed c.Retries loop applies.
+func (c *Client) ExchangeContext(ctx context.Context, name string, qtype uint16) (*dnswire.Message, error) {
 	timeout := c.Timeout
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
+	var resp *dnswire.Message
+	attempt := func(ctx context.Context) error {
+		resp = nil
+		r, err := c.attempt(ctx, name, qtype, timeout)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return rcodeError(r.Header.RCode)
+	}
+
+	if c.Policy != nil {
+		err := c.Policy.DoClassified(ctx, "dns:"+c.Server, Classify, attempt)
+		return resp, err
+	}
+
 	attempts := c.Retries + 1
 	if attempts < 1 {
 		attempts = 1
 	}
-
 	var lastErr error
 	for i := 0; i < attempts; i++ {
-		resp, err := c.exchangeUDP(name, qtype, timeout)
-		if err != nil {
-			lastErr = err
-			continue
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		if resp.Header.TC {
-			resp, err = c.exchangeTCP(name, qtype, timeout)
-			if err != nil {
-				lastErr = err
-				continue
-			}
+		err := attempt(ctx)
+		if Classify(err) != resilience.Transient {
+			// Success or an authoritative answer carrying an error code:
+			// either way the exchange is over.
+			return resp, err
 		}
-		return resp, rcodeError(resp.Header.RCode)
+		lastErr = err
 	}
 	if lastErr == nil {
 		lastErr = ErrTimeout
 	}
 	return nil, lastErr
+}
+
+// attempt performs one UDP exchange with TCP fallback on truncation.
+func (c *Client) attempt(ctx context.Context, name string, qtype uint16, timeout time.Duration) (*dnswire.Message, error) {
+	resp, err := c.exchangeUDP(ctx, name, qtype, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Header.TC {
+		return c.exchangeTCP(ctx, name, qtype, timeout)
+	}
+	return resp, nil
 }
 
 func rcodeError(rcode uint8) error {
@@ -113,18 +171,29 @@ func rcodeError(rcode uint8) error {
 	}
 }
 
-func (c *Client) exchangeUDP(name string, qtype uint16, timeout time.Duration) (*dnswire.Message, error) {
+// deadline returns the attempt deadline: timeout from now, tightened to
+// the context's own deadline when that is sooner.
+func deadline(ctx context.Context, timeout time.Duration) time.Time {
+	d := time.Now().Add(timeout)
+	if dl, ok := ctx.Deadline(); ok && dl.Before(d) {
+		return dl
+	}
+	return d
+}
+
+func (c *Client) exchangeUDP(ctx context.Context, name string, qtype uint16, timeout time.Duration) (*dnswire.Message, error) {
 	id := c.nextID()
 	query, err := dnswire.NewQuery(id, name, qtype).Pack()
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout("udp", c.Server, timeout)
+	dialer := &net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "udp", c.Server)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	if err := conn.SetDeadline(deadline(ctx, timeout)); err != nil {
 		return nil, err
 	}
 	if _, err := conn.Write(query); err != nil {
@@ -152,18 +221,19 @@ func (c *Client) exchangeUDP(name string, qtype uint16, timeout time.Duration) (
 	}
 }
 
-func (c *Client) exchangeTCP(name string, qtype uint16, timeout time.Duration) (*dnswire.Message, error) {
+func (c *Client) exchangeTCP(ctx context.Context, name string, qtype uint16, timeout time.Duration) (*dnswire.Message, error) {
 	id := c.nextID()
 	query, err := dnswire.NewQuery(id, name, qtype).Pack()
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.DialTimeout("tcp", c.Server, timeout)
+	dialer := &net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", c.Server)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+	if err := conn.SetDeadline(deadline(ctx, timeout)); err != nil {
 		return nil, err
 	}
 	framed := make([]byte, 2+len(query))
@@ -194,7 +264,12 @@ func (c *Client) exchangeTCP(name string, qtype uint16, timeout time.Duration) (
 // LookupA resolves a name to its IPv4 addresses, following CNAMEs included
 // in the answer section.
 func (c *Client) LookupA(name string) ([]netip.Addr, error) {
-	resp, err := c.Exchange(name, dnswire.TypeA)
+	return c.LookupAContext(context.Background(), name)
+}
+
+// LookupAContext is LookupA bounded by a context.
+func (c *Client) LookupAContext(ctx context.Context, name string) ([]netip.Addr, error) {
+	resp, err := c.ExchangeContext(ctx, name, dnswire.TypeA)
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +293,12 @@ func (c *Client) LookupNS(name string) ([]string, error) {
 // section, keyed by nameserver host. Callers can skip the follow-up A
 // lookup for glued targets.
 func (c *Client) LookupNSGlued(name string) (targets []string, glue map[string][]netip.Addr, err error) {
-	resp, err := c.Exchange(name, dnswire.TypeNS)
+	return c.LookupNSGluedContext(context.Background(), name)
+}
+
+// LookupNSGluedContext is LookupNSGlued bounded by a context.
+func (c *Client) LookupNSGluedContext(ctx context.Context, name string) (targets []string, glue map[string][]netip.Addr, err error) {
+	resp, err := c.ExchangeContext(ctx, name, dnswire.TypeNS)
 	if err != nil {
 		return nil, nil, err
 	}

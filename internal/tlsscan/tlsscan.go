@@ -5,6 +5,7 @@
 package tlsscan
 
 import (
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"errors"
@@ -54,11 +55,17 @@ func New(owners *capki.OwnerDB) *Scanner {
 // Scan connects to addr ("host:port"), handshakes with the given SNI
 // serverName, and labels the leaf certificate's CA owner.
 func (s *Scanner) Scan(addr, serverName string) (*Result, error) {
+	return s.ScanContext(context.Background(), addr, serverName)
+}
+
+// ScanContext is Scan bounded by a context: cancelling ctx aborts the dial
+// and handshake, so crawl-level retry policies and cancellation propagate
+// into in-flight scans.
+func (s *Scanner) ScanContext(ctx context.Context, addr, serverName string) (*Result, error) {
 	timeout := s.Timeout
 	if timeout <= 0 {
 		timeout = 3 * time.Second
 	}
-	dialer := &net.Dialer{Timeout: timeout}
 	conf := &tls.Config{
 		ServerName: serverName,
 		// The measurement must observe whatever certificate the site
@@ -67,10 +74,12 @@ func (s *Scanner) Scan(addr, serverName string) (*Result, error) {
 		InsecureSkipVerify: true,
 		MinVersion:         tls.VersionTLS12,
 	}
-	conn, err := tls.DialWithDialer(dialer, "tcp", addr, conf)
+	dialer := &tls.Dialer{NetDialer: &net.Dialer{Timeout: timeout}, Config: conf}
+	nc, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("tlsscan: %s (sni %s): %w", addr, serverName, err)
 	}
+	conn := nc.(*tls.Conn)
 	defer conn.Close()
 	state := conn.ConnectionState()
 	if len(state.PeerCertificates) == 0 {

@@ -1,6 +1,7 @@
 package tlsscan
 
 import (
+	"context"
 	"crypto/tls"
 	"crypto/x509"
 	"net"
@@ -181,5 +182,36 @@ func TestScanNilOwnerDB(t *testing.T) {
 	}
 	if res.CAOwner != "" || res.Leaf == nil {
 		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestScanContextCancellation(t *testing.T) {
+	// A listener that accepts but never handshakes: only the context can
+	// end the scan early.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold the connection open, say nothing
+		}
+	}()
+
+	scanner := New(nil)
+	scanner.Timeout = 10 * time.Second
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := scanner.ScanContext(ctx, ln.Addr().String(), "x.example"); err == nil {
+		t.Fatal("cancelled scan succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", elapsed)
 	}
 }
