@@ -23,6 +23,7 @@ import (
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/dnsserver"
 	"github.com/webdep/webdep/internal/liveworld"
+	"github.com/webdep/webdep/internal/obs"
 	"github.com/webdep/webdep/internal/pipeline"
 	"github.com/webdep/webdep/internal/report"
 	"github.com/webdep/webdep/internal/resilience"
@@ -48,22 +49,30 @@ type options struct {
 	// resilience accounting; see pipeline.Live.
 	FailFast    bool
 	MinCoverage float64
+	// Stats prints the observability registry (stage timings, probe
+	// latencies, retry/breaker counters) after the run.
+	Stats bool
+	// DebugAddr, when non-empty, serves /debug/vars and /debug/pprof on
+	// the given address for the duration of the run.
+	DebugAddr string
 }
 
 func main() {
 	var (
-		seed     = flag.Int64("seed", 1, "world seed")
-		sites    = flag.Int("sites", 10000, "sites per country")
-		out      = flag.String("out", "webdep-data", "output directory")
-		subset   = flag.String("countries", "", "comma-separated country subset (default: all 150)")
-		epoch2   = flag.Bool("epoch2", false, "also generate and export the 2025-05 epoch")
-		live     = flag.Bool("live", false, "measure over real sockets (DNS + TLS); use small worlds")
-		geoErr   = flag.Bool("geoerr", false, "enable the 10.6% geolocation error model")
-		summary  = flag.Bool("summary", true, "print per-layer score summaries")
-		zones    = flag.Bool("zones", false, "also dump the world's DNS zones as master files")
-		workers  = flag.Int("workers", runtime.GOMAXPROCS(0), "measurement concurrency: countries in fast mode, crawl jobs in live mode (output is identical for any value)")
-		failFast = flag.Bool("fail-fast", false, "live mode: abort at the first country whose coverage falls below -min-coverage instead of flagging it degraded")
-		minCov   = flag.Float64("min-coverage", 1, "live mode: per-country coverage threshold; countries below it are flagged degraded (negative disables the check)")
+		seed      = flag.Int64("seed", 1, "world seed")
+		sites     = flag.Int("sites", 10000, "sites per country")
+		out       = flag.String("out", "webdep-data", "output directory")
+		subset    = flag.String("countries", "", "comma-separated country subset (default: all 150)")
+		epoch2    = flag.Bool("epoch2", false, "also generate and export the 2025-05 epoch")
+		live      = flag.Bool("live", false, "measure over real sockets (DNS + TLS); use small worlds")
+		geoErr    = flag.Bool("geoerr", false, "enable the 10.6% geolocation error model")
+		summary   = flag.Bool("summary", true, "print per-layer score summaries")
+		zones     = flag.Bool("zones", false, "also dump the world's DNS zones as master files")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "measurement concurrency: countries in fast mode, crawl jobs in live mode (output is identical for any value)")
+		failFast  = flag.Bool("fail-fast", false, "live mode: abort at the first country whose coverage falls below -min-coverage instead of flagging it degraded")
+		minCov    = flag.Float64("min-coverage", 1, "live mode: per-country coverage threshold; countries below it are flagged degraded (negative disables the check)")
+		stats     = flag.Bool("stats", false, "print the observability registry (stage timings, probe latencies, retry/breaker counters) after the run")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
 	flag.Parse()
 
@@ -72,6 +81,7 @@ func main() {
 		Epoch2: *epoch2, Live: *live, GeoErr: *geoErr, Summary: *summary,
 		Zones: *zones, Workers: *workers,
 		FailFast: *failFast, MinCoverage: *minCov,
+		Stats: *stats, DebugAddr: *debugAddr,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "webdep:", err)
@@ -93,12 +103,28 @@ func splitList(s string) []string {
 }
 
 func run(opts options) error {
+	if opts.DebugAddr != "" {
+		srv, err := obs.ServeDebug(opts.DebugAddr, obs.Default())
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars (pprof under /debug/pprof/)\n", srv.Addr)
+	}
+	if opts.Stats {
+		defer func() {
+			report.StatsTable(os.Stderr, "observability", obs.Default().Snapshot())
+		}()
+	}
+
 	cfg := worldgen.Config{Seed: opts.Seed, SitesPerCountry: opts.Sites, Countries: opts.Countries}
 	if opts.GeoErr {
 		cfg.GeoErrorRate = 0.106
 	}
 	fmt.Fprintf(os.Stderr, "building world (seed=%d, sites=%d)...\n", opts.Seed, opts.Sites)
+	buildSpan := obs.StartSpan(obs.Default().Timing("stage.build.ms"))
 	w, err := worldgen.Build(cfg)
+	buildSpan.End()
 	if err != nil {
 		return err
 	}
@@ -114,7 +140,10 @@ func run(opts options) error {
 	if err != nil {
 		return err
 	}
-	if err := export(opts.Out, corpus); err != nil {
+	exportSpan := obs.StartSpan(obs.Default().Timing("stage.export.ms"))
+	err = export(opts.Out, corpus)
+	exportSpan.End()
+	if err != nil {
 		return err
 	}
 	if opts.Zones {

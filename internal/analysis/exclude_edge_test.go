@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/webdep/webdep/internal/dataset"
+)
+
+// TestExcludeDegradedEdgeCases drives the exclusion filter through the
+// degenerate corpora around its boundary behaviors: nothing left after
+// exclusion, nothing to exclude, and single-country worlds on both sides
+// of the threshold.
+func TestExcludeDegradedEdgeCases(t *testing.T) {
+	mk := func(ccs []string, degraded map[string]bool) *dataset.Corpus {
+		c := dataset.NewCorpus("e")
+		for _, cc := range ccs {
+			c.Add(&dataset.CountryList{Country: cc, Epoch: "e"})
+			c.SetCoverage(&dataset.Coverage{Country: cc, Degraded: degraded[cc]})
+		}
+		return c
+	}
+
+	cases := []struct {
+		name string
+		in   func() *dataset.Corpus
+		// want is the expected surviving country set; wantSame asserts the
+		// corpus passes through without copying.
+		want     []string
+		wantSame bool
+	}{
+		{
+			name:     "empty corpus",
+			in:       func() *dataset.Corpus { return dataset.NewCorpus("e") },
+			want:     []string{},
+			wantSame: true, // nothing degraded, nothing to do
+		},
+		{
+			name: "all countries degraded",
+			in: func() *dataset.Corpus {
+				return mk([]string{"TH", "US"}, map[string]bool{"TH": true, "US": true})
+			},
+			want: []string{},
+		},
+		{
+			name:     "single healthy country",
+			in:       func() *dataset.Corpus { return mk([]string{"IR"}, nil) },
+			want:     []string{"IR"},
+			wantSame: true,
+		},
+		{
+			name: "single degraded country",
+			in: func() *dataset.Corpus {
+				return mk([]string{"IR"}, map[string]bool{"IR": true})
+			},
+			want: []string{},
+		},
+		{
+			name: "mixed corpus keeps only healthy",
+			in: func() *dataset.Corpus {
+				return mk([]string{"BR", "CZ", "TH"}, map[string]bool{"CZ": true})
+			},
+			want: []string{"BR", "TH"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := tc.in()
+			coverageBefore := len(in.CoverageByCountry)
+			got := ExcludeDegraded(in)
+
+			if tc.wantSame && got != in {
+				t.Fatal("pass-through corpus was copied")
+			}
+			if !tc.wantSame && got == in {
+				t.Fatal("corpus with degraded countries returned unchanged")
+			}
+
+			ccs := got.Countries()
+			if len(ccs) != len(tc.want) {
+				t.Fatalf("Countries = %v, want %v", ccs, tc.want)
+			}
+			for i := range tc.want {
+				if ccs[i] != tc.want[i] {
+					t.Fatalf("Countries = %v, want %v", ccs, tc.want)
+				}
+			}
+			// Every input country's coverage must remain reportable even
+			// when its measurements were dropped.
+			if len(got.CoverageByCountry) != coverageBefore {
+				t.Errorf("coverage accounting shrank: %d -> %d",
+					coverageBefore, len(got.CoverageByCountry))
+			}
+			// The filtered corpus must carry no degraded countries.
+			if deg := got.DegradedCountries(); !tc.wantSame {
+				for _, cc := range deg {
+					if lst := got.Get(cc); lst != nil {
+						t.Errorf("degraded country %s survived exclusion", cc)
+					}
+				}
+			}
+		})
+	}
+}

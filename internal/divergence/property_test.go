@@ -1,0 +1,179 @@
+package divergence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property-based checks over randomized distributions, seeded so failures
+// reproduce deterministically.
+
+const propertyTrials = 200
+
+func newRand() *rand.Rand { return rand.New(rand.NewSource(97)) }
+
+type metric struct {
+	name string
+	fn   func(p, q []float64) (float64, error)
+	hi   float64 // upper bound of the metric's range
+}
+
+func metrics() []metric {
+	return []metric{
+		{"KL", KL, math.Inf(1)},
+		{"JensenShannon", JensenShannon, math.Ln2},
+		{"Hellinger", Hellinger, 1},
+		{"TotalVariation", TotalVariation, 1},
+	}
+}
+
+func TestDivergenceBounds(t *testing.T) {
+	rng := newRand()
+	for trial := 0; trial < propertyTrials; trial++ {
+		n := 2 + rng.Intn(30)
+		p, q := randomDist(rng, n), randomDist(rng, n)
+		for _, m := range metrics() {
+			d, err := m.fn(p, q)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, m.name, err)
+			}
+			if d < 0 || d > m.hi+1e-12 {
+				t.Fatalf("trial %d: %s = %v outside [0, %v]", trial, m.name, d, m.hi)
+			}
+		}
+	}
+}
+
+func TestDivergenceSelfIsZero(t *testing.T) {
+	rng := newRand()
+	for trial := 0; trial < propertyTrials; trial++ {
+		p := randomDist(rng, 2+rng.Intn(30))
+		for _, m := range metrics() {
+			d, err := m.fn(p, p)
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, m.name, err)
+			}
+			// Hellinger's sqrt(1−bc) amplifies bc's last-ulp error to ~1e-8,
+			// so the zero tolerance is looser than elsewhere.
+			if math.Abs(d) > 1e-7 {
+				t.Fatalf("trial %d: %s(p, p) = %v, want 0", trial, m.name, d)
+			}
+		}
+	}
+}
+
+func TestDivergenceSymmetric(t *testing.T) {
+	rng := newRand()
+	for trial := 0; trial < propertyTrials; trial++ {
+		n := 2 + rng.Intn(30)
+		p, q := randomDist(rng, n), randomDist(rng, n)
+		// KL is famously asymmetric; the symmetric three must not be.
+		for _, m := range metrics()[1:] {
+			ab, err1 := m.fn(p, q)
+			ba, err2 := m.fn(q, p)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d: %s: %v / %v", trial, m.name, err1, err2)
+			}
+			if math.Abs(ab-ba) > 1e-12 {
+				t.Fatalf("trial %d: %s(p,q)=%v but %s(q,p)=%v", trial, m.name, ab, m.name, ba)
+			}
+		}
+	}
+}
+
+func TestDivergencePermutationInvariant(t *testing.T) {
+	rng := newRand()
+	for trial := 0; trial < propertyTrials; trial++ {
+		n := 2 + rng.Intn(30)
+		p, q := randomDist(rng, n), randomDist(rng, n)
+		perm := rng.Perm(n)
+		pp, qp := make([]float64, n), make([]float64, n)
+		for i, k := range perm {
+			pp[i], qp[i] = p[k], q[k]
+		}
+		for _, m := range metrics() {
+			want, err1 := m.fn(p, q)
+			got, err2 := m.fn(pp, qp)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("trial %d: %s: %v / %v", trial, m.name, err1, err2)
+			}
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("trial %d: %s changed under permutation: %v -> %v", trial, m.name, want, got)
+			}
+		}
+	}
+}
+
+// TestDivergenceConcentrationMonotonic walks the mixture path
+// p_t = (1−t)·uniform + t·δ₀ from the uniform distribution toward full
+// concentration on one slot. Every f-divergence from uniform is convex in p
+// and zero at t=0, hence non-decreasing along the path: on a shared support
+// the divergences do order distributions by concentration (contrast with
+// the disjoint-support saturation test below).
+func TestDivergenceConcentrationMonotonic(t *testing.T) {
+	rng := newRand()
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		u := uniform(n)
+		for _, m := range metrics() {
+			prev := -1.0
+			for _, tt := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+				p := make([]float64, n)
+				for i := range p {
+					p[i] = (1 - tt) * u[i]
+				}
+				p[0] += tt
+				d, err := m.fn(p, u)
+				if err != nil {
+					t.Fatalf("trial %d: %s at t=%v: %v", trial, m.name, tt, err)
+				}
+				if tt == 0 && math.Abs(d) > 1e-7 {
+					t.Fatalf("trial %d: %s(uniform, uniform) = %v, want 0", trial, m.name, d)
+				}
+				if d < prev-1e-9 {
+					t.Fatalf("trial %d: %s decreased along concentration path at t=%v: %v -> %v",
+						trial, m.name, tt, prev, d)
+				}
+				prev = d
+			}
+		}
+	}
+}
+
+// TestDivergenceSaturatesOnDisjointSupport reproduces the paper's Section
+// 3.1 objection: against the DISJOINT decentralized reference, every
+// divergence reports its saturation constant no matter how concentrated the
+// observed distribution is — a mildly and a wildly centralized observation
+// are indistinguishable.
+func TestDivergenceSaturatesOnDisjointSupport(t *testing.T) {
+	rng := newRand()
+	for trial := 0; trial < 50; trial++ {
+		// Observed: random concentration. Reference: one pile per website.
+		nProviders := 1 + rng.Intn(10)
+		observed := make([]float64, nProviders)
+		var total float64
+		for i := range observed {
+			observed[i] = float64(1 + rng.Intn(20))
+			total += observed[i]
+		}
+		reference := make([]float64, int(total))
+		for i := range reference {
+			reference[i] = 1
+		}
+		p, q := DisjointSupport(observed, reference)
+
+		if d, err := KL(p, q); err != nil || !math.IsInf(d, 1) {
+			t.Fatalf("trial %d: KL = %v (err %v), want +Inf", trial, d, err)
+		}
+		if d, err := JensenShannon(p, q); err != nil || math.Abs(d-math.Ln2) > 1e-9 {
+			t.Fatalf("trial %d: JS = %v (err %v), want ln 2", trial, d, err)
+		}
+		if d, err := Hellinger(p, q); err != nil || math.Abs(d-1) > 1e-9 {
+			t.Fatalf("trial %d: Hellinger = %v (err %v), want 1", trial, d, err)
+		}
+		if d, err := TotalVariation(p, q); err != nil || math.Abs(d-1) > 1e-9 {
+			t.Fatalf("trial %d: TV = %v (err %v), want 1", trial, d, err)
+		}
+	}
+}

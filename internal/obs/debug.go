@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// jsonHistogram is the wire form of a histogram snapshot: bucket counts
+// keyed by upper bound, plus the summary moments. Min/Max are omitted when
+// empty (they are ±Inf, which JSON cannot carry).
+type jsonHistogram struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Mean    float64          `json:"mean"`
+	Min     *float64         `json:"min,omitempty"`
+	Max     *float64         `json:"max,omitempty"`
+	P50     float64          `json:"p50"`
+	P90     float64          `json:"p90"`
+	P99     float64          `json:"p99"`
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+// jsonGauge is the wire form of a gauge.
+type jsonGauge struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// WriteJSON dumps the registry expvar-style: one JSON object with the
+// counters, gauges, and histograms keyed by name. This is what the debug
+// endpoint serves, so a live crawl can be inspected with curl + jq.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	out := struct {
+		Counters   map[string]int64         `json:"counters"`
+		Gauges     map[string]jsonGauge     `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}{
+		Counters:   make(map[string]int64, len(snap.Counters)),
+		Gauges:     make(map[string]jsonGauge, len(snap.Gauges)),
+		Histograms: make(map[string]jsonHistogram, len(snap.Histograms)),
+	}
+	for _, c := range snap.Counters {
+		out.Counters[c.Name] = c.Value
+	}
+	for _, g := range snap.Gauges {
+		out.Gauges[g.Name] = jsonGauge{Value: g.Value, Max: g.Max}
+	}
+	for _, h := range snap.Histograms {
+		jh := jsonHistogram{
+			Count:   h.Count,
+			Sum:     h.Sum,
+			Mean:    h.Mean(),
+			P50:     h.Quantile(0.50),
+			P90:     h.Quantile(0.90),
+			P99:     h.Quantile(0.99),
+			Buckets: make(map[string]int64, len(h.Counts)),
+		}
+		if h.Count > 0 {
+			mn, mx := h.Min, h.Max
+			jh.Min, jh.Max = &mn, &mx
+		}
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			bound := "+Inf"
+			if i < len(h.Bounds) {
+				bound = formatBound(h.Bounds[i])
+			}
+			jh.Buckets[bound] = c
+		}
+		out.Histograms[h.Name] = jh
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func formatBound(b float64) string {
+	if b == math.Trunc(b) {
+		return fmt.Sprintf("%d", int64(b))
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// DebugServer serves the registry dump and the net/http/pprof profiles for
+// a running crawl. Close stops it.
+type DebugServer struct {
+	// Addr is the address the server actually listens on — useful when the
+	// requested address had port 0.
+	Addr string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug starts a debug HTTP server on addr serving
+//
+//	/debug/vars   — the registry as JSON (expvar-style)
+//	/debug/pprof/ — the standard pprof index, profiles, and traces
+//
+// on its own mux (nothing leaks onto http.DefaultServeMux). The server
+// runs until Close; Serve errors after Close are swallowed.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ds := &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go func() { _ = srv.Serve(ln) }()
+	return ds, nil
+}
+
+// Close shuts the debug server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }

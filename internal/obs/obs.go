@@ -1,0 +1,212 @@
+// Package obs is the toolkit's dependency-free observability layer: a
+// named registry of atomic counters, gauges, and fixed-bucket latency
+// histograms, plus allocation-free span timing for hot paths.
+//
+// The registry exists so a production-scale crawl is not flying blind:
+// worker occupancy, queue depth, retry pressure, breaker trips, and
+// per-probe latency all land in one place that the CLI can print
+// (report.StatsTable), a debug endpoint can serve as JSON, and tests can
+// cross-check against component-local accounting.
+//
+// Naming scheme: dotted lowercase "component.metric[.unit]" — e.g.
+// "parallel.queue_depth", "resilience.retries", "probe.dns.ms". Histograms
+// of durations use a ".ms" suffix and record milliseconds. Instruments are
+// cheap (one atomic op per update) and idempotently registered: looking up
+// the same name twice returns the same instrument, so hot paths hoist the
+// pointer once and never touch the registry again.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is the caller's bug; counters are monotonic by
+// convention, not enforcement).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (queue depth, busy workers) that also
+// tracks its high-watermark, which is usually the number a capacity
+// discussion needs.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set stores an absolute level.
+func (g *Gauge) Set(n int64) {
+	g.v.Store(n)
+	g.watermark(n)
+}
+
+// Add moves the level by n and returns the new value.
+func (g *Gauge) Add(n int64) int64 {
+	cur := g.v.Add(n)
+	g.watermark(cur)
+	return cur
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max returns the highest level ever set.
+func (g *Gauge) Max() int64 { return g.max.Load() }
+
+func (g *Gauge) watermark(n int64) {
+	for {
+		m := g.max.Load()
+		if n <= m || g.max.CompareAndSwap(m, n) {
+			return
+		}
+	}
+}
+
+// Registry is a named set of instruments. The zero value is not usable;
+// construct with NewRegistry or use Default. All methods are safe for
+// concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry every component records to
+// unless explicitly pointed elsewhere (components take an optional
+// *Registry for test isolation).
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls ignore the bounds argument; the
+// first registration wins). Bounds must be sorted ascending; an implicit
+// +Inf bucket is appended.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Timing returns the named histogram with the standard millisecond latency
+// buckets — the form every ".ms" span histogram in the toolkit uses.
+func (r *Registry) Timing(name string) *Histogram {
+	return r.Histogram(name, DurationBuckets)
+}
+
+// NamedCounter pairs a counter snapshot with its name.
+type NamedCounter struct {
+	Name  string
+	Value int64
+}
+
+// NamedGauge pairs a gauge snapshot with its name.
+type NamedGauge struct {
+	Name  string
+	Value int64
+	Max   int64
+}
+
+// NamedHistogram pairs a histogram snapshot with its name.
+type NamedHistogram struct {
+	Name string
+	HistogramSnapshot
+}
+
+// Snapshot is a point-in-time copy of every instrument, sorted by name —
+// the input to report.StatsTable and the JSON dump.
+type Snapshot struct {
+	Counters   []NamedCounter
+	Gauges     []NamedGauge
+	Histograms []NamedHistogram
+}
+
+// Snapshot copies the registry's current values. Instruments updated
+// concurrently land in the snapshot at whatever value their atomics held;
+// the snapshot itself is immutable.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var s Snapshot
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, NamedCounter{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, NamedGauge{Name: name, Value: g.Value(), Max: g.Max()})
+	}
+	for name, h := range r.hists {
+		s.Histograms = append(s.Histograms, NamedHistogram{Name: name, HistogramSnapshot: h.Snapshot()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("x.count") != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("x.level")
+	g.Add(3)
+	g.Add(4)
+	g.Add(-5)
+	if g.Value() != 2 {
+		t.Errorf("gauge = %d, want 2", g.Value())
+	}
+	if g.Max() != 7 {
+		t.Errorf("gauge max = %d, want 7", g.Max())
+	}
+	g.Set(1)
+	if g.Value() != 1 || g.Max() != 7 {
+		t.Errorf("after Set: value %d max %d, want 1 and 7", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat.ms", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 0.7, 5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	wantBuckets := []int64{2, 2, 1, 1} // ≤1, ≤10, ≤100, +Inf
+	for i, want := range wantBuckets {
+		if s.Counts[i] != want {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if got := s.Sum; math.Abs(got-561.2) > 1e-9 {
+		t.Errorf("sum = %v, want 561.2", got)
+	}
+	if s.Min != 0.5 || s.Max != 500 {
+		t.Errorf("min/max = %v/%v, want 0.5/500", s.Min, s.Max)
+	}
+	// Quantiles are bucket-interpolated estimates: the median of six
+	// observations lands in the second bucket (1, 10], and the extreme
+	// quantile reports the observed max from the open bucket.
+	if q := s.Quantile(0.5); q < 1 || q > 10 {
+		t.Errorf("p50 = %v, want within (1, 10]", q)
+	}
+	if q := s.Quantile(1); q != 500 {
+		t.Errorf("p100 = %v, want 500 (observed max)", q)
+	}
+	if q := s.Quantile(0.99); q != 500 {
+		t.Errorf("p99 = %v, want 500 (+Inf bucket reports max)", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	r := NewRegistry()
+	s := r.Timing("empty.ms").Snapshot()
+	if s.Count != 0 || s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Errorf("empty histogram: count %d mean %v p50 %v, want zeros", s.Count, s.Mean(), s.Quantile(0.5))
+	}
+}
+
+func TestHistogramBoundaryLandsInLowerBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b.ms", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: "le" semantics put it in that bucket
+	s := h.Snapshot()
+	if s.Counts[0] != 1 || s.Counts[1] != 0 {
+		t.Errorf("buckets = %v, want the observation in the le=1 bucket", s.Counts)
+	}
+}
+
+func TestSpanRecordsMilliseconds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Timing("span.ms")
+	sp := StartSpan(h)
+	time.Sleep(2 * time.Millisecond)
+	d := sp.End()
+	if d < 2*time.Millisecond {
+		t.Errorf("span duration %v, want >= 2ms", d)
+	}
+	s := h.Snapshot()
+	if s.Count != 1 {
+		t.Fatalf("count = %d, want 1", s.Count)
+	}
+	if s.Sum < 2 {
+		t.Errorf("recorded %vms, want >= 2ms", s.Sum)
+	}
+	// Nil-histogram spans still measure.
+	if d := StartSpan(nil).End(); d < 0 {
+		t.Errorf("nil span returned %v", d)
+	}
+}
+
+func TestConcurrentObservationsAddUp(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Timing("h.ms")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	s := h.Snapshot()
+	if s.Count != workers*per || s.Sum != workers*per {
+		t.Errorf("histogram count/sum = %d/%v, want %d", s.Count, s.Sum, workers*per)
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z")
+	r.Counter("a")
+	r.Gauge("m")
+	r.Timing("k.ms")
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a" || s.Counters[1].Name != "z" {
+		t.Errorf("counters not sorted: %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || len(s.Histograms) != 1 {
+		t.Errorf("snapshot shapes: %d gauges, %d histograms", len(s.Gauges), len(s.Histograms))
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("retries").Add(3)
+	r.Gauge("depth").Set(5)
+	h := r.Timing("probe.ms")
+	h.Observe(1.5)
+	h.Observe(80)
+
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]struct {
+			Value int64 `json:"value"`
+			Max   int64 `json:"max"`
+		} `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64            `json:"count"`
+			Mean    float64          `json:"mean"`
+			Buckets map[string]int64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if parsed.Counters["retries"] != 3 {
+		t.Errorf("retries = %d, want 3", parsed.Counters["retries"])
+	}
+	if parsed.Gauges["depth"].Value != 5 {
+		t.Errorf("depth = %d, want 5", parsed.Gauges["depth"].Value)
+	}
+	ph := parsed.Histograms["probe.ms"]
+	if ph.Count != 2 || math.Abs(ph.Mean-40.75) > 1e-9 {
+		t.Errorf("probe.ms count/mean = %d/%v, want 2/40.75", ph.Count, ph.Mean)
+	}
+	var total int64
+	for _, c := range ph.Buckets {
+		total += c
+	}
+	if total != 2 {
+		t.Errorf("bucket counts sum to %d, want 2", total)
+	}
+}
+
+func TestDebugServerServesVarsAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	ds, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", ds.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", code)
+	}
+	if !strings.Contains(body, `"hits": 1`) {
+		t.Errorf("/debug/vars missing counter:\n%s", body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", code)
+	}
+}

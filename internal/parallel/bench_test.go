@@ -1,0 +1,49 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// The pool benchmarks measure dispatch overhead: tasks are near-empty, so
+// ns/op is dominated by channel traffic, worker wakeups, and the obs
+// instrumentation on the task path. CI uploads this package's results as
+// the BENCH_parallel artifact; compare runs with benchstat.
+
+const benchTasks = 256
+
+func benchForEach(b *testing.B, workers int) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sum atomic.Int64
+		if err := ForEachIndexed(ctx, workers, benchTasks, func(_ context.Context, k int) error {
+			sum.Add(int64(k))
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForEachIndexed(b *testing.B) {
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchForEach(b, workers)
+		})
+	}
+}
+
+func BenchmarkMap(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(ctx, 8, benchTasks, func(_ context.Context, k int) (int, error) {
+			return k * k, nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

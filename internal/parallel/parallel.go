@@ -15,6 +15,21 @@ import (
 	"context"
 	"runtime"
 	"sync"
+
+	"github.com/webdep/webdep/internal/obs"
+)
+
+// Pool metrics, recorded for every ForEachIndexed/Map call in the process:
+// how many tasks ran (and failed), how deep the pending-job queue is, how
+// many workers are busy right now (with high-watermark), and the per-task
+// latency distribution. Instruments are hoisted once so the hot path pays
+// one atomic op per update and no registry lookups.
+var (
+	poolTasks  = obs.Default().Counter("parallel.tasks")
+	poolErrors = obs.Default().Counter("parallel.task_errors")
+	poolQueue  = obs.Default().Gauge("parallel.queue_depth")
+	poolBusy   = obs.Default().Gauge("parallel.busy_workers")
+	poolTaskMS = obs.Default().Timing("parallel.task_ms")
 )
 
 // Workers normalizes a worker-count knob: n itself when positive, otherwise
@@ -65,30 +80,44 @@ func ForEachIndexed(ctx context.Context, workers, n int, fn func(ctx context.Con
 	// Dequeued jobs always run (workers don't re-check ctx), bounding
 	// post-cancellation work at one job per worker.
 	jobs := make(chan int)
+	poolQueue.Add(int64(n))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if err := fn(ctx, i); err != nil {
+				poolQueue.Add(-1)
+				poolBusy.Add(1)
+				sp := obs.StartSpan(poolTaskMS)
+				err := fn(ctx, i)
+				sp.End()
+				poolBusy.Add(-1)
+				poolTasks.Inc()
+				if err != nil {
+					poolErrors.Inc()
 					fail(i, err)
 				}
 			}
 		}()
 	}
+	dispatched := 0
 	for i := 0; i < n; i++ {
 		if ctx.Err() != nil {
 			break
 		}
 		select {
 		case jobs <- i:
+			dispatched++
 		case <-ctx.Done():
 			i = n // stop feeding; fall through to close and wait
 		}
 	}
 	close(jobs)
 	wg.Wait()
+	// Jobs skipped by cancellation never reached a worker; release their
+	// queue-depth slots so the gauge returns to its pre-call level.
+	poolQueue.Add(int64(dispatched - n))
 
 	mu.Lock()
 	defer mu.Unlock()

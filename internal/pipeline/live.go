@@ -16,6 +16,7 @@ import (
 
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/langid"
+	"github.com/webdep/webdep/internal/obs"
 	"github.com/webdep/webdep/internal/parallel"
 	"github.com/webdep/webdep/internal/resilience"
 	"github.com/webdep/webdep/internal/resolver"
@@ -57,6 +58,78 @@ type Live struct {
 	// FailFast aborts CrawlCorpus with an error at the first country
 	// below MinCoverage instead of flagging it degraded and continuing.
 	FailFast bool
+
+	// Obs selects the metrics registry the crawl records to; nil means
+	// obs.Default(). CrawlCorpus propagates it to the DNS client, TLS
+	// scanner, and resilience policy (when their own registry is unset),
+	// so one injected registry observes the whole live path.
+	Obs *obs.Registry
+
+	metricsOnce sync.Once
+	metrics     *liveMetrics
+}
+
+// fieldCounters is one probe field's outcome accounting: ok/empty/lost
+// mirror dataset.FieldCoverage, so obs totals and the corpus's coverage
+// accounting must agree exactly (the observability tests enforce this).
+type fieldCounters struct {
+	ok, empty, lost *obs.Counter
+}
+
+func (f fieldCounters) observe(s dataset.FieldStatus) {
+	switch s {
+	case dataset.StatusOK:
+		f.ok.Inc()
+	case dataset.StatusEmpty:
+		f.empty.Inc()
+	case dataset.StatusLost:
+		f.lost.Inc()
+	}
+}
+
+// liveMetrics holds the crawl's hoisted instruments: per-field outcome
+// counters feeding the same classification as dataset.Coverage, per-site
+// crawl latency, and page-fetch latency (DNS and TLS latency live in the
+// resolver and scanner).
+type liveMetrics struct {
+	host, ns, ca, lang fieldCounters
+	siteMS             *obs.Histogram
+	sites              *obs.Counter
+	httpMS             *obs.Histogram
+	fetches            *obs.Counter
+	fetchErrors        *obs.Counter
+}
+
+func (l *Live) reg() *obs.Registry {
+	if l.Obs != nil {
+		return l.Obs
+	}
+	return obs.Default()
+}
+
+func (l *Live) m() *liveMetrics {
+	l.metricsOnce.Do(func() {
+		r := l.reg()
+		field := func(name string) fieldCounters {
+			return fieldCounters{
+				ok:    r.Counter("crawl." + name + ".ok"),
+				empty: r.Counter("crawl." + name + ".empty"),
+				lost:  r.Counter("crawl." + name + ".lost"),
+			}
+		}
+		l.metrics = &liveMetrics{
+			host:        field("host"),
+			ns:          field("ns"),
+			ca:          field("ca"),
+			lang:        field("lang"),
+			siteMS:      r.Timing("crawl.site_ms"),
+			sites:       r.Counter("crawl.sites"),
+			httpMS:      r.Timing("probe.http.ms"),
+			fetches:     r.Counter("probe.http.fetches"),
+			fetchErrors: r.Counter("probe.http.errors"),
+		}
+	})
+	return l.metrics
 }
 
 // minCoverage resolves the MinCoverage knob: 0 → 1.0, negative → disabled.
@@ -102,9 +175,25 @@ func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, doma
 	if workers <= 0 {
 		workers = 8
 	}
+	// Point every component at the crawl's registry before any probe runs,
+	// so one injected registry observes the whole live path; components
+	// carrying their own registry keep it.
+	if l.Obs != nil {
+		if l.DNS.Obs == nil {
+			l.DNS.Obs = l.Obs
+		}
+		if l.Scanner.Obs == nil {
+			l.Scanner.Obs = l.Obs
+		}
+		if l.Resilience != nil && l.Resilience.Obs == nil {
+			l.Resilience.Obs = l.Obs
+		}
+	}
 	if l.Resilience != nil && l.DNS.Policy == nil {
 		l.DNS.Policy = l.Resilience
 	}
+	crawlSpan := obs.StartSpan(l.reg().Timing("stage.crawl.ms"))
+	defer crawlSpan.End()
 
 	// Flatten the per-country domain lists into one job list so the worker
 	// budget is truly global.
@@ -183,6 +272,21 @@ func outcomeOf(err error, classify resilience.Classifier) dataset.FieldStatus {
 // crawl can distinguish "the field is absent" from "the measurement was
 // lost".
 func (l *Live) crawlOne(ctx context.Context, cc, domain string, rank int) (dataset.Website, dataset.SiteOutcome) {
+	m := l.m()
+	sp := obs.StartSpan(m.siteMS)
+	w, o := l.crawlSite(ctx, cc, domain, rank)
+	sp.End()
+	m.sites.Inc()
+	m.host.observe(o.Host)
+	m.ns.observe(o.NS)
+	m.ca.observe(o.CA)
+	m.lang.observe(o.Language)
+	return w, o
+}
+
+// crawlSite performs the actual probes; crawlOne wraps it with the span
+// and outcome accounting.
+func (l *Live) crawlSite(ctx context.Context, cc, domain string, rank int) (dataset.Website, dataset.SiteOutcome) {
 	w := dataset.Website{
 		Domain:  domain,
 		Country: cc,
@@ -270,14 +374,29 @@ func (l *Live) scanTLS(ctx context.Context, domain string) (*tlsscan.Result, err
 // are authoritative negatives.
 func (l *Live) fetchPage(ctx context.Context, domain string) (string, error) {
 	if l.Resilience == nil {
-		return fetchBody(ctx, l.TLSAddr, domain)
+		return l.fetchBodyObserved(ctx, domain)
 	}
 	var body string
 	err := l.Resilience.DoClassified(ctx, "http", httpClassify, func(ctx context.Context) error {
 		var err error
-		body, err = fetchBody(ctx, l.TLSAddr, domain)
+		body, err = l.fetchBodyObserved(ctx, domain)
 		return err
 	})
+	return body, err
+}
+
+// fetchBodyObserved wraps fetchBody with the "probe.http.*" instruments;
+// under a resilience policy it runs once per attempt, so the fetch counter
+// matches the policy's attempt accounting for the "http" kind.
+func (l *Live) fetchBodyObserved(ctx context.Context, domain string) (string, error) {
+	m := l.m()
+	m.fetches.Inc()
+	sp := obs.StartSpan(m.httpMS)
+	body, err := fetchBody(ctx, l.TLSAddr, domain)
+	sp.End()
+	if err != nil {
+		m.fetchErrors.Inc()
+	}
 	return body, err
 }
 

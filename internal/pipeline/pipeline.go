@@ -23,6 +23,7 @@ import (
 	"github.com/webdep/webdep/internal/capki"
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/geoip"
+	"github.com/webdep/webdep/internal/obs"
 	"github.com/webdep/webdep/internal/parallel"
 	"github.com/webdep/webdep/internal/pfx2as"
 	"github.com/webdep/webdep/internal/tldinfo"
@@ -43,6 +44,18 @@ type Pipeline struct {
 	// 0 means one worker per CPU. The measured corpus is identical for
 	// every worker count.
 	Workers int
+
+	// Obs selects the metrics registry the pipeline's stage timings record
+	// to; nil means obs.Default(). Metrics are pure side channels — the
+	// measured corpus is byte-identical with or without them.
+	Obs *obs.Registry
+}
+
+func (p *Pipeline) reg() *obs.Registry {
+	if p.Obs != nil {
+		return p.Obs
+	}
+	return obs.Default()
 }
 
 // FromWorld builds a pipeline over a synthetic world's databases.
@@ -131,6 +144,11 @@ func leafStub(issuerOrg string) *x509.Certificate {
 // to a sequential measurement. A country with no raw sites fails the whole
 // measurement, cancelling the in-flight enrichment of the others.
 func (p *Pipeline) MeasureWorld(w *worldgen.World) (*dataset.Corpus, error) {
+	reg := p.reg()
+	measureSpan := obs.StartSpan(reg.Timing("stage.measure.ms"))
+	enrichMS := reg.Timing("pipeline.enrich_country.ms")
+	enriched := reg.Counter("pipeline.countries_enriched")
+
 	ccs := w.Config.Countries
 	lists, err := parallel.Map(context.Background(), p.Workers, len(ccs),
 		func(_ context.Context, i int) (*dataset.CountryList, error) {
@@ -138,7 +156,11 @@ func (p *Pipeline) MeasureWorld(w *worldgen.World) (*dataset.Corpus, error) {
 			if !ok {
 				return nil, fmt.Errorf("pipeline: world has no raw sites for %s", ccs[i])
 			}
-			return p.EnrichCountry(ccs[i], w.Config.Epoch, raw), nil
+			sp := obs.StartSpan(enrichMS)
+			list := p.EnrichCountry(ccs[i], w.Config.Epoch, raw)
+			sp.End()
+			enriched.Inc()
+			return list, nil
 		})
 	if err != nil {
 		return nil, err
@@ -148,7 +170,11 @@ func (p *Pipeline) MeasureWorld(w *worldgen.World) (*dataset.Corpus, error) {
 	for _, list := range lists {
 		corpus.Add(list)
 	}
-	if err := corpus.Validate(); err != nil {
+	validateSpan := obs.StartSpan(reg.Timing("stage.validate.ms"))
+	err = corpus.Validate()
+	validateSpan.End()
+	measureSpan.End()
+	if err != nil {
 		return nil, err
 	}
 	return corpus, nil

@@ -1,0 +1,114 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/webdep/webdep/internal/dataset"
+)
+
+// coverageWith builds a Coverage from n site outcomes of one shape.
+func coverageWith(cc string, n int, o dataset.SiteOutcome, degraded bool) *dataset.Coverage {
+	cov := &dataset.Coverage{Country: cc, Degraded: degraded}
+	for i := 0; i < n; i++ {
+		cov.Observe(o)
+	}
+	return cov
+}
+
+// TestCoverageTableEdgeCases drives the renderer through the degenerate
+// corpora a live crawl can legitimately produce; the table must stay
+// well-formed (never blank, never panicking, DEGRADED exactly where
+// accounting says so).
+func TestCoverageTableEdgeCases(t *testing.T) {
+	allOK := dataset.SiteOutcome{
+		Host: dataset.StatusOK, NS: dataset.StatusOK,
+		CA: dataset.StatusOK, Language: dataset.StatusOK,
+	}
+	allLost := dataset.SiteOutcome{
+		Host: dataset.StatusLost, NS: dataset.StatusLost,
+		CA: dataset.StatusLost, Language: dataset.StatusLost,
+	}
+
+	cases := []struct {
+		name       string
+		corpus     func() *dataset.Corpus
+		want       []string
+		wantAbsent []string
+	}{
+		{
+			name:   "empty corpus",
+			corpus: func() *dataset.Corpus { return dataset.NewCorpus("e") },
+			want:   []string{"no coverage accounting"},
+			// No header row when there is nothing to tabulate.
+			wantAbsent: []string{"status", "DEGRADED"},
+		},
+		{
+			name: "all countries degraded",
+			corpus: func() *dataset.Corpus {
+				c := dataset.NewCorpus("e")
+				c.SetCoverage(coverageWith("TH", 4, allLost, true))
+				c.SetCoverage(coverageWith("US", 4, allLost, true))
+				return c
+			},
+			want:       []string{"TH", "US", "DEGRADED\nUS", "0.0%"},
+			wantAbsent: []string{" ok\n"},
+		},
+		{
+			name: "single country world",
+			corpus: func() *dataset.Corpus {
+				c := dataset.NewCorpus("e")
+				c.SetCoverage(coverageWith("IR", 7, allOK, false))
+				return c
+			},
+			want:       []string{"IR", "100.0%", "ok"},
+			wantAbsent: []string{"DEGRADED"},
+		},
+		{
+			name: "zero-probe coverage row",
+			corpus: func() *dataset.Corpus {
+				// A country whose domain list was empty: zero sites, zero
+				// attempts per field. Attempt-free fields are fully covered
+				// by definition, so the row must read 100%, not NaN.
+				c := dataset.NewCorpus("e")
+				c.SetCoverage(&dataset.Coverage{Country: "CZ"})
+				return c
+			},
+			want:       []string{"CZ", "100.0%", "ok"},
+			wantAbsent: []string{"NaN", "DEGRADED"},
+		},
+		{
+			name: "skipped fields do not dilute coverage",
+			corpus: func() *dataset.Corpus {
+				// Language detection disabled: the field is Skipped on every
+				// site and must report full coverage, not zero.
+				c := dataset.NewCorpus("e")
+				o := allOK
+				o.Language = dataset.StatusSkipped
+				c.SetCoverage(coverageWith("JP", 5, o, false))
+				return c
+			},
+			want:       []string{"JP", "100.0%", "ok"},
+			wantAbsent: []string{"NaN", "DEGRADED"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			CoverageTable(&buf, "coverage", tc.corpus())
+			out := buf.String()
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+			for _, absent := range tc.wantAbsent {
+				if strings.Contains(out, absent) {
+					t.Errorf("output unexpectedly contains %q:\n%s", absent, out)
+				}
+			}
+		})
+	}
+}

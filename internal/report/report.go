@@ -14,9 +14,49 @@ import (
 	"github.com/webdep/webdep/internal/core"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
 	"github.com/webdep/webdep/internal/stats"
 	"github.com/webdep/webdep/internal/tldinfo"
 )
+
+// StatsTable renders an observability snapshot: counters, gauges with their
+// high-watermarks, and latency histograms with count/mean/quantiles. Empty
+// sections are omitted; an entirely empty snapshot prints a placeholder so
+// -stats output is never silently blank.
+func StatsTable(w io.Writer, title string, snap obs.Snapshot) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if len(snap.Counters) == 0 && len(snap.Gauges) == 0 && len(snap.Histograms) == 0 {
+		fmt.Fprintln(w, "(no instruments recorded)")
+		return
+	}
+	if len(snap.Counters) > 0 {
+		fmt.Fprintf(w, "%-36s %12s\n", "counter", "value")
+		for _, c := range snap.Counters {
+			fmt.Fprintf(w, "%-36s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintf(w, "%-36s %12s %12s\n", "gauge", "value", "max")
+		for _, g := range snap.Gauges {
+			fmt.Fprintf(w, "%-36s %12d %12d\n", g.Name, g.Value, g.Max)
+		}
+	}
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintf(w, "%-36s %9s %9s %9s %9s %9s %9s %9s\n",
+			"histogram", "count", "mean", "p50", "p90", "p99", "min", "max")
+		for _, h := range snap.Histograms {
+			if h.Count == 0 {
+				fmt.Fprintf(w, "%-36s %9d %9s %9s %9s %9s %9s %9s\n",
+					h.Name, 0, "-", "-", "-", "-", "-", "-")
+				continue
+			}
+			fmt.Fprintf(w, "%-36s %9d %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
+				h.Name, h.Count, h.Mean(),
+				h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99),
+				h.Min, h.Max)
+		}
+	}
+}
 
 // ScoreTable renders a Tables 5–8 style listing: rank, country, 𝒮, with
 // the published value alongside for comparison.

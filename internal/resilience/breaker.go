@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/webdep/webdep/internal/obs"
 )
 
 // BreakerState is a circuit breaker's current disposition.
@@ -49,11 +51,52 @@ type Breaker struct {
 	// now is the clock, replaceable in tests.
 	now func() time.Time
 
+	// reg selects the metrics registry transition counters are emitted to
+	// (nil means obs.Default()); BreakerSet propagates it.
+	reg *obs.Registry
+
 	mu       sync.Mutex
 	state    BreakerState
 	failures int
 	openedAt time.Time
 	probing  bool
+
+	// Transition accounting, guarded by mu: how often the breaker opened,
+	// admitted a half-open probe, and closed again. The same numbers are
+	// emitted as "resilience.breaker.*" counters.
+	opened, halfOpened, closed int64
+	m                          *breakerMetrics
+}
+
+// breakerMetrics holds the hoisted obs instruments shared by all breakers
+// recording to the same registry.
+type breakerMetrics struct {
+	opened, halfOpened, closed *obs.Counter
+}
+
+// metrics lazily resolves the obs counters; callers hold b.mu.
+func (b *Breaker) metrics() *breakerMetrics {
+	if b.m == nil {
+		r := b.reg
+		if r == nil {
+			r = obs.Default()
+		}
+		b.m = &breakerMetrics{
+			opened:     r.Counter("resilience.breaker.opened"),
+			halfOpened: r.Counter("resilience.breaker.half_opened"),
+			closed:     r.Counter("resilience.breaker.closed"),
+		}
+	}
+	return b.m
+}
+
+// Transitions returns how often the breaker opened, went half-open, and
+// closed. The matching obs counters aggregate these across all breakers on
+// one registry; the observability tests cross-check the two.
+func (b *Breaker) Transitions() (opened, halfOpened, closed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opened, b.halfOpened, b.closed
 }
 
 func (b *Breaker) clock() time.Time {
@@ -92,6 +135,8 @@ func (b *Breaker) Allow() bool {
 		}
 		b.state = HalfOpen
 		b.probing = true
+		b.halfOpened++
+		b.metrics().halfOpened.Inc()
 		return true
 	default: // HalfOpen
 		if b.probing {
@@ -106,6 +151,10 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) RecordSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.state != Closed {
+		b.closed++
+		b.metrics().closed.Inc()
+	}
 	b.state = Closed
 	b.failures = 0
 	b.probing = false
@@ -122,11 +171,15 @@ func (b *Breaker) RecordFailure() {
 	case HalfOpen:
 		b.state = Open
 		b.openedAt = b.clock()
+		b.opened++
+		b.metrics().opened.Inc()
 	case Closed:
 		b.failures++
 		if b.failures >= b.threshold() {
 			b.state = Open
 			b.openedAt = b.clock()
+			b.opened++
+			b.metrics().opened.Inc()
 		}
 	}
 	// Open: a straggling failure from before the breaker opened changes
@@ -148,11 +201,26 @@ type BreakerSet struct {
 	FailureThreshold int
 	Cooldown         time.Duration
 
+	// Obs selects the metrics registry propagated to created breakers;
+	// nil means obs.Default(). A policy carrying the set propagates its
+	// own registry here before any breaker is created.
+	Obs *obs.Registry
+
 	// now is the test clock propagated to created breakers.
 	now func() time.Time
 
 	mu     sync.Mutex
 	byKind map[string]*Breaker
+}
+
+// setRegistry installs the registry used for breakers created from now on
+// (existing breakers keep theirs; the policy propagates before first use).
+func (s *BreakerSet) setRegistry(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Obs == nil {
+		s.Obs = r
+	}
 }
 
 // NewBreakerSet returns a set creating breakers with the given threshold
@@ -170,7 +238,7 @@ func (s *BreakerSet) Breaker(kind string) *Breaker {
 	}
 	b, ok := s.byKind[kind]
 	if !ok {
-		b = &Breaker{FailureThreshold: s.FailureThreshold, Cooldown: s.Cooldown, now: s.now}
+		b = &Breaker{FailureThreshold: s.FailureThreshold, Cooldown: s.Cooldown, now: s.now, reg: s.Obs}
 		s.byKind[kind] = b
 	}
 	return b

@@ -1,0 +1,159 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/webdep/webdep/internal/obs"
+)
+
+// TestObsCountersMatchPolicyStats drives one policy through every outcome
+// class — success, permanent failure, retry exhaustion, budget exhaustion,
+// breaker opening, circuit rejection, half-open recovery — on an injected
+// registry, then requires the emitted "resilience.*" counters to equal the
+// policy's own accounting EXACTLY. The two are recorded at the same code
+// points; any drift means an instrumentation point was added, removed, or
+// moved on one side only.
+func TestObsCountersMatchPolicyStats(t *testing.T) {
+	r := obs.NewRegistry()
+	base := time.Now()
+	now := base
+	bs := NewBreakerSet(2, time.Hour)
+	bs.now = func() time.Time { return now }
+
+	p := &Policy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Microsecond,
+		MaxDelay:    time.Microsecond,
+		Jitter:      -1,
+		Budget:      NewBudget(3),
+		Breakers:    bs,
+		Obs:         r,
+	}
+
+	errPermanent := errors.New("authoritative no")
+	errTransient := errors.New("flaky")
+	classify := func(err error) Class {
+		switch err {
+		case nil:
+			return Success
+		case errPermanent:
+			return Permanent
+		default:
+			return Transient
+		}
+	}
+	ok := func(context.Context) error { return nil }
+	permanent := func(context.Context) error { return errPermanent }
+	transient := func(context.Context) error { return errTransient }
+	ctx := context.Background()
+
+	// 1. Clean success: 1 attempt.
+	if err := p.DoClassified(ctx, "a", classify, ok); err != nil {
+		t.Fatalf("success op: %v", err)
+	}
+	// 2. Permanent failure: 1 attempt, no retries, breaker records success.
+	if err := p.DoClassified(ctx, "a", classify, permanent); !errors.Is(err, errPermanent) {
+		t.Fatalf("permanent op: %v", err)
+	}
+	// 3. Transient failures on "a": the second consecutive failure opens
+	// the breaker (threshold 2), so the would-be third attempt is rejected
+	// by the open circuit mid-operation — 2 attempts, 1 retry, 1 rejection.
+	if err := p.DoClassified(ctx, "a", classify, transient); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("transient op: %v", err)
+	}
+	// 4. Budget exhaustion on a fresh kind: attempt, retry, then the empty
+	// budget (3 minus the two retries taken in step 3) forgoes the final
+	// attempt. Breaker "b" opens on its second consecutive failure but
+	// rejects nothing — the budget broke the loop first.
+	if err := p.DoClassified(ctx, "b", classify, transient); !errors.Is(err, errTransient) {
+		t.Fatalf("budget op: %v", err)
+	}
+	// 5. Circuit rejection: breaker "a" is open and its cooldown has not
+	// elapsed, so the operation runs zero attempts.
+	if err := p.DoClassified(ctx, "a", classify, ok); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("rejected op: %v", err)
+	}
+	// 6. Half-open recovery: past the cooldown the breaker admits a probe,
+	// which succeeds and closes it.
+	now = base.Add(2 * time.Hour)
+	if err := p.DoClassified(ctx, "a", classify, ok); err != nil {
+		t.Fatalf("recovery op: %v", err)
+	}
+
+	want := PolicyStats{
+		Attempts:          7, // 1 + 1 + 2 + 2 + 0 + 1
+		Retries:           2, // 1 in step 3, 1 in step 4
+		Successes:         2,
+		PermanentFailures: 1,
+		TransientFailures: 4,
+		BudgetExhausted:   1,
+		CircuitRejections: 2, // step 3's third attempt, step 5
+	}
+	if got := p.Stats(); got != want {
+		t.Fatalf("Stats = %+v, want %+v", got, want)
+	}
+
+	counters := map[string]int64{
+		"resilience.attempts":           want.Attempts,
+		"resilience.retries":            want.Retries,
+		"resilience.successes":          want.Successes,
+		"resilience.permanent_failures": want.PermanentFailures,
+		"resilience.transient_failures": want.TransientFailures,
+		"resilience.budget_exhausted":   want.BudgetExhausted,
+		"resilience.circuit_rejections": want.CircuitRejections,
+	}
+	for name, wantV := range counters {
+		if got := r.Counter(name).Value(); got != wantV {
+			t.Errorf("%s = %d, obs-independent accounting says %d", name, got, wantV)
+		}
+	}
+
+	// Per-attempt latency: exactly one histogram observation per attempt.
+	if got := r.Timing("resilience.attempt_ms").Snapshot().Count; got != want.Attempts {
+		t.Errorf("resilience.attempt_ms count = %d, want %d", got, want.Attempts)
+	}
+
+	// The breaker transition counters must equal the sum of every breaker's
+	// own transition accounting.
+	var opened, halfOpened, closed int64
+	for _, kind := range bs.Kinds() {
+		o, h, c := bs.Breaker(kind).Transitions()
+		opened, halfOpened, closed = opened+o, halfOpened+h, closed+c
+	}
+	if opened != 2 || halfOpened != 1 || closed != 1 {
+		t.Fatalf("Transitions sum = %d/%d/%d, want 2/1/1", opened, halfOpened, closed)
+	}
+	transitions := map[string]int64{
+		"resilience.breaker.opened":      opened,
+		"resilience.breaker.half_opened": halfOpened,
+		"resilience.breaker.closed":      closed,
+	}
+	for name, wantV := range transitions {
+		if got := r.Counter(name).Value(); got != wantV {
+			t.Errorf("%s = %d, breakers' own accounting says %d", name, got, wantV)
+		}
+	}
+}
+
+// TestObsRegistryIsolation: a policy pointed at its own registry must leak
+// nothing onto the default registry, and vice versa — injected registries
+// are what keeps concurrent tests from double counting.
+func TestObsRegistryIsolation(t *testing.T) {
+	r := obs.NewRegistry()
+	p := &Policy{MaxAttempts: 1, Obs: r}
+	before := obs.Default().Counter("resilience.attempts").Value()
+	for i := 0; i < 5; i++ {
+		if err := p.Do(context.Background(), "x", func(context.Context) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Counter("resilience.attempts").Value(); got != 5 {
+		t.Errorf("injected registry counted %d attempts, want 5", got)
+	}
+	if after := obs.Default().Counter("resilience.attempts").Value(); after != before {
+		t.Errorf("default registry moved %d -> %d; injected-registry policy leaked", before, after)
+	}
+}

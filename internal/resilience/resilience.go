@@ -21,7 +21,10 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"github.com/webdep/webdep/internal/obs"
 )
 
 // Class is the retry-relevant classification of an operation's outcome.
@@ -99,9 +102,89 @@ type Policy struct {
 	// Breakers, when non-nil, short-circuits operations against target
 	// kinds that keep failing.
 	Breakers *BreakerSet
+	// Obs selects the metrics registry the policy records to under the
+	// "resilience." prefix. nil means obs.Default(). The policy also keeps
+	// its own atomic accounting (Stats), so tests can cross-check the
+	// emitted metrics against ground truth.
+	Obs *obs.Registry
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	metricsOnce sync.Once
+	metrics     *policyMetrics
+
+	stats policyCounters
+}
+
+// policyCounters is the policy's own atomic accounting, independent of the
+// obs registry; Stats snapshots it.
+type policyCounters struct {
+	attempts, retries, successes       atomic.Int64
+	permanents, transients             atomic.Int64
+	budgetExhausted, circuitRejections atomic.Int64
+}
+
+// PolicyStats is a point-in-time copy of a policy's own accounting.
+type PolicyStats struct {
+	// Attempts counts operation attempts actually run (circuit-rejected
+	// operations run none). Retries counts the attempts beyond each
+	// operation's first — every retry consumed budget when one was set.
+	Attempts, Retries int64
+	// Successes, PermanentFailures, and TransientFailures classify every
+	// attempt's outcome.
+	Successes, PermanentFailures, TransientFailures int64
+	// BudgetExhausted counts retries forgone because the shared budget ran
+	// dry; CircuitRejections counts operations an open breaker refused.
+	BudgetExhausted, CircuitRejections int64
+}
+
+// Stats returns the policy's own accounting. The same numbers are emitted
+// as "resilience.*" counters on the policy's registry; the two must agree
+// exactly (the observability test suite enforces this under fault
+// injection).
+func (p *Policy) Stats() PolicyStats {
+	return PolicyStats{
+		Attempts:          p.stats.attempts.Load(),
+		Retries:           p.stats.retries.Load(),
+		Successes:         p.stats.successes.Load(),
+		PermanentFailures: p.stats.permanents.Load(),
+		TransientFailures: p.stats.transients.Load(),
+		BudgetExhausted:   p.stats.budgetExhausted.Load(),
+		CircuitRejections: p.stats.circuitRejections.Load(),
+	}
+}
+
+// policyMetrics holds the hoisted obs instruments, resolved once per
+// policy so the retry hot path never locks the registry.
+type policyMetrics struct {
+	attempts, retries, successes       *obs.Counter
+	permanents, transients             *obs.Counter
+	budgetExhausted, circuitRejections *obs.Counter
+	attemptMS                          *obs.Histogram
+}
+
+func (p *Policy) m() *policyMetrics {
+	p.metricsOnce.Do(func() {
+		r := p.Obs
+		if r == nil {
+			r = obs.Default()
+		}
+		if p.Breakers != nil {
+			p.Breakers.setRegistry(r)
+		}
+		p.metrics = &policyMetrics{
+			attempts:          r.Counter("resilience.attempts"),
+			retries:           r.Counter("resilience.retries"),
+			successes:         r.Counter("resilience.successes"),
+			permanents:        r.Counter("resilience.permanent_failures"),
+			transients:        r.Counter("resilience.transient_failures"),
+			budgetExhausted:   r.Counter("resilience.budget_exhausted"),
+			circuitRejections: r.Counter("resilience.circuit_rejections"),
+			attemptMS:         r.Timing("resilience.attempt_ms"),
+		}
+	})
+	return p.metrics
 }
 
 // NewPolicy returns a policy with crawl-suitable defaults: 4 attempts,
@@ -132,6 +215,7 @@ func (p *Policy) DoClassified(ctx context.Context, kind string, classify Classif
 	if attempts < 1 {
 		attempts = 1
 	}
+	m := p.m() // also propagates p.Obs to the breaker set, so resolve first
 	var br *Breaker
 	if p.Breakers != nil {
 		br = p.Breakers.Breaker(kind)
@@ -143,9 +227,19 @@ func (p *Policy) DoClassified(ctx context.Context, kind string, classify Classif
 			return err
 		}
 		if br != nil && !br.Allow() {
+			m.circuitRejections.Inc()
+			p.stats.circuitRejections.Add(1)
 			return fmt.Errorf("resilience: %s: %w", kind, ErrCircuitOpen)
 		}
+		sp := obs.StartSpan(m.attemptMS)
 		err := p.attempt(ctx, op)
+		sp.End()
+		m.attempts.Inc()
+		p.stats.attempts.Add(1)
+		if attempt > 0 {
+			m.retries.Inc()
+			p.stats.retries.Add(1)
+		}
 		if parent := ctx.Err(); parent != nil {
 			// The caller cancelled; the attempt's error (if any) is just
 			// the cancellation surfacing through the operation.
@@ -153,11 +247,15 @@ func (p *Policy) DoClassified(ctx context.Context, kind string, classify Classif
 		}
 		switch classify(err) {
 		case Success:
+			m.successes.Inc()
+			p.stats.successes.Add(1)
 			if br != nil {
 				br.RecordSuccess()
 			}
 			return nil
 		case Permanent:
+			m.permanents.Inc()
+			p.stats.permanents.Add(1)
 			// An authoritative negative is an answer, not an outage: the
 			// target is healthy, so the breaker records success.
 			if br != nil {
@@ -165,12 +263,19 @@ func (p *Policy) DoClassified(ctx context.Context, kind string, classify Classif
 			}
 			return err
 		default:
+			m.transients.Inc()
+			p.stats.transients.Add(1)
 			if br != nil {
 				br.RecordFailure()
 			}
 			lastErr = err
 		}
-		if attempt == attempts-1 || !p.Budget.Take() {
+		if attempt == attempts-1 {
+			break
+		}
+		if !p.Budget.Take() {
+			m.budgetExhausted.Inc()
+			p.stats.budgetExhausted.Add(1)
 			break
 		}
 		if err := p.sleep(ctx, p.delay(attempt)); err != nil {

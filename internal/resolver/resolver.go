@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/webdep/webdep/internal/dnswire"
+	"github.com/webdep/webdep/internal/obs"
 	"github.com/webdep/webdep/internal/resilience"
 )
 
@@ -45,10 +46,42 @@ type Client struct {
 	// retried under the policy; authoritative negatives (NXDOMAIN,
 	// REFUSED) never are.
 	Policy *resilience.Policy
+	// Obs selects the metrics registry the client's "probe.dns.*"
+	// instruments record to; nil means obs.Default().
+	Obs *obs.Registry
 
 	// rng guards query-ID generation.
 	mu  sync.Mutex
 	rng *rand.Rand
+
+	metricsOnce sync.Once
+	metrics     *clientMetrics
+}
+
+// clientMetrics holds the hoisted per-probe instruments: one latency
+// histogram per wire exchange (each attempt, not each logical lookup, so
+// retry inflation is visible) plus attempt/fallback counters.
+type clientMetrics struct {
+	exchangeMS   *obs.Histogram
+	attempts     *obs.Counter
+	errors       *obs.Counter
+	tcpFallbacks *obs.Counter
+}
+
+func (c *Client) m() *clientMetrics {
+	c.metricsOnce.Do(func() {
+		r := c.Obs
+		if r == nil {
+			r = obs.Default()
+		}
+		c.metrics = &clientMetrics{
+			exchangeMS:   r.Timing("probe.dns.ms"),
+			attempts:     r.Counter("probe.dns.attempts"),
+			errors:       r.Counter("probe.dns.errors"),
+			tcpFallbacks: r.Counter("probe.dns.tcp_fallbacks"),
+		}
+	})
+	return c.metrics
 }
 
 // NewClient returns a client with defaults suitable for LAN-local
@@ -144,14 +177,21 @@ func (c *Client) ExchangeContext(ctx context.Context, name string, qtype uint16)
 	return nil, lastErr
 }
 
-// attempt performs one UDP exchange with TCP fallback on truncation.
+// attempt performs one UDP exchange with TCP fallback on truncation,
+// recording the attempt's wire latency and outcome.
 func (c *Client) attempt(ctx context.Context, name string, qtype uint16, timeout time.Duration) (*dnswire.Message, error) {
+	m := c.m()
+	m.attempts.Inc()
+	sp := obs.StartSpan(m.exchangeMS)
 	resp, err := c.exchangeUDP(ctx, name, qtype, timeout)
-	if err != nil {
-		return nil, err
+	if err == nil && resp.Header.TC {
+		m.tcpFallbacks.Inc()
+		resp, err = c.exchangeTCP(ctx, name, qtype, timeout)
 	}
-	if resp.Header.TC {
-		return c.exchangeTCP(ctx, name, qtype, timeout)
+	sp.End()
+	if err != nil {
+		m.errors.Inc()
+		return nil, err
 	}
 	return resp, nil
 }

@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"github.com/webdep/webdep/internal/capki"
+	"github.com/webdep/webdep/internal/obs"
 )
 
 // Result is the outcome of one TLS scan.
@@ -45,6 +47,35 @@ type Scanner struct {
 	// scanner accepts any certificate (the paper labels what sites serve,
 	// not whether browsers would trust it).
 	Roots *x509.CertPool
+	// Obs selects the metrics registry the scanner's "probe.tls.*"
+	// instruments record to; nil means obs.Default().
+	Obs *obs.Registry
+
+	metricsOnce sync.Once
+	metrics     *scanMetrics
+}
+
+// scanMetrics holds the hoisted per-scan instruments: handshake latency
+// plus scan/error counters.
+type scanMetrics struct {
+	scanMS *obs.Histogram
+	scans  *obs.Counter
+	errors *obs.Counter
+}
+
+func (s *Scanner) m() *scanMetrics {
+	s.metricsOnce.Do(func() {
+		r := s.Obs
+		if r == nil {
+			r = obs.Default()
+		}
+		s.metrics = &scanMetrics{
+			scanMS: r.Timing("probe.tls.ms"),
+			scans:  r.Counter("probe.tls.scans"),
+			errors: r.Counter("probe.tls.errors"),
+		}
+	})
+	return s.metrics
 }
 
 // New returns a scanner using the given owner database.
@@ -61,7 +92,16 @@ func (s *Scanner) Scan(addr, serverName string) (*Result, error) {
 // ScanContext is Scan bounded by a context: cancelling ctx aborts the dial
 // and handshake, so crawl-level retry policies and cancellation propagate
 // into in-flight scans.
-func (s *Scanner) ScanContext(ctx context.Context, addr, serverName string) (*Result, error) {
+func (s *Scanner) ScanContext(ctx context.Context, addr, serverName string) (res *Result, err error) {
+	m := s.m()
+	m.scans.Inc()
+	sp := obs.StartSpan(m.scanMS)
+	defer func() {
+		sp.End()
+		if err != nil {
+			m.errors.Inc()
+		}
+	}()
 	timeout := s.Timeout
 	if timeout <= 0 {
 		timeout = 3 * time.Second
@@ -101,7 +141,7 @@ func (s *Scanner) ScanContext(ctx context.Context, addr, serverName string) (*Re
 		}
 	}
 
-	res := &Result{
+	res = &Result{
 		Leaf:        leaf,
 		Version:     state.Version,
 		CipherSuite: state.CipherSuite,

@@ -1,0 +1,94 @@
+// Command benchjson converts `go test -bench` text output (the format
+// benchstat consumes) into JSON, so CI can publish benchmark results as a
+// machine-readable artifact alongside the raw text:
+//
+//	go test -bench=. ./internal/parallel | go run ./internal/tools/benchjson
+//
+// Each benchmark line becomes one object; repeated runs of the same
+// benchmark (-count=N) appear as separate objects, preserving the sample
+// structure benchstat needs for significance testing.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: name, parallelism suffix, iteration count,
+// and every reported metric keyed by unit (ns/op, B/op, allocs/op, ...).
+type Result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark lines, skipping the goos/goarch preamble and the
+// PASS/ok trailer.
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		res, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// parseLine parses one "BenchmarkName-8  1000  123 ns/op  4 B/op" line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Metrics: make(map[string]float64)}
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iters
+	// The remainder alternates value, unit.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, len(res.Metrics) > 0
+}
