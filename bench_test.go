@@ -410,7 +410,7 @@ func BenchmarkLiveCrawl(b *testing.B) {
 	domains := w.Truth.Get("TH").Domains()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := live.CrawlCountry("TH", "bench", domains); err != nil {
+		if _, err := live.CrawlCountry(context.Background(), "TH", "bench", domains); err != nil {
 			b.Fatal(err)
 		}
 	}

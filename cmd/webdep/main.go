@@ -14,11 +14,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 
+	"github.com/webdep/webdep/internal/checkpoint"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/dnsserver"
@@ -49,6 +51,12 @@ type options struct {
 	// resilience accounting; see pipeline.Live.
 	FailFast    bool
 	MinCoverage float64
+	// Checkpoint, when non-empty, journals every completed live probe to
+	// <dir>/<epoch>.journal so an interrupted crawl can be resumed;
+	// Resume reopens that journal and re-probes only missing or lost
+	// sites. See internal/checkpoint.
+	Checkpoint string
+	Resume     bool
 	// Stats prints the observability registry (stage timings, probe
 	// latencies, retry/breaker counters) after the run.
 	Stats bool
@@ -71,6 +79,8 @@ func main() {
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "measurement concurrency: countries in fast mode, crawl jobs in live mode (output is identical for any value)")
 		failFast  = flag.Bool("fail-fast", false, "live mode: abort at the first country whose coverage falls below -min-coverage instead of flagging it degraded")
 		minCov    = flag.Float64("min-coverage", 1, "live mode: per-country coverage threshold; countries below it are flagged degraded (negative disables the check)")
+		ckpt      = flag.String("checkpoint", "", "live mode: journal completed probes to <dir>/<epoch>.journal for crash-safe resume")
+		resume    = flag.Bool("resume", false, "reopen the -checkpoint journal and re-probe only missing or lost sites")
 		stats     = flag.Bool("stats", false, "print the observability registry (stage timings, probe latencies, retry/breaker counters) after the run")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
@@ -81,6 +91,7 @@ func main() {
 		Epoch2: *epoch2, Live: *live, GeoErr: *geoErr, Summary: *summary,
 		Zones: *zones, Workers: *workers,
 		FailFast: *failFast, MinCoverage: *minCov,
+		Checkpoint: *ckpt, Resume: *resume,
 		Stats: *stats, DebugAddr: *debugAddr,
 	}
 	if err := run(opts); err != nil {
@@ -103,6 +114,12 @@ func splitList(s string) []string {
 }
 
 func run(opts options) error {
+	if opts.Checkpoint != "" && !opts.Live {
+		return fmt.Errorf("-checkpoint only applies to -live crawls")
+	}
+	if opts.Resume && opts.Checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
 	if opts.DebugAddr != "" {
 		srv, err := obs.ServeDebug(opts.DebugAddr, obs.Default())
 		if err != nil {
@@ -195,15 +212,66 @@ func measureLive(w *worldgen.World, opts options) (*dataset.Corpus, error) {
 		FailFast:       opts.FailFast,
 		MinCoverage:    opts.MinCoverage,
 	}
+	if opts.Checkpoint != "" {
+		j, err := openJournal(opts, w)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		liveP.Checkpoint = j
+	}
 	fmt.Fprintf(os.Stderr, "crawling %d countries over real sockets (%d workers)...\n",
 		len(w.Config.Countries), opts.Workers)
 	// CrawlCorpus serializes progress callbacks, so these per-country lines
 	// never interleave even though countries finish concurrently.
-	return liveP.CrawlCorpus(context.Background(), w.Config.Epoch, w.Config.Countries,
+	corpus, err := liveP.CrawlCorpus(context.Background(), w.Config.Epoch, w.Config.Countries,
 		func(cc string) []string { return w.Truth.Get(cc).Domains() },
 		func(cc string, sites int) {
 			fmt.Fprintf(os.Stderr, "crawled %s (%d sites)\n", cc, sites)
 		})
+	if err != nil {
+		return nil, err
+	}
+	if j := liveP.Checkpoint; j != nil {
+		if jerr := j.Err(); jerr != nil {
+			// A dead checkpoint disk never fails the crawl, but the operator
+			// must know this run is not restartable.
+			fmt.Fprintf(os.Stderr, "WARNING: checkpoint journaling disarmed mid-crawl (%v); this run cannot be resumed\n", jerr)
+		} else {
+			st := j.Stats()
+			fmt.Fprintf(os.Stderr, "checkpoint: %d sites journaled, %d replayed from %s\n",
+				st.RecordsWritten, st.SitesSkipped, j.Path())
+		}
+	}
+	return corpus, nil
+}
+
+// openJournal creates or resumes the crawl's journal at
+// <checkpoint dir>/<epoch>.journal. A fresh run refuses to truncate an
+// existing journal — the operator either resumes it or removes it.
+func openJournal(opts options, w *worldgen.World) (*checkpoint.Journal, error) {
+	if err := os.MkdirAll(opts.Checkpoint, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(opts.Checkpoint, w.Config.Epoch+".journal")
+	if opts.Resume {
+		j, err := checkpoint.Resume(path, w.Config.Epoch, w.Config.Countries, nil)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "resuming from %s: %d sites journaled, re-probing the rest\n",
+			path, j.ReplayedSites())
+		return j, nil
+	}
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("journal %s already exists; pass -resume to continue it or remove it first", path)
+	}
+	j, err := checkpoint.Create(path, w.Config.Epoch, w.Config.Countries, nil)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "checkpointing to %s\n", path)
+	return j, nil
 }
 
 func export(dir string, corpus *dataset.Corpus) error {
@@ -212,16 +280,14 @@ func export(dir string, corpus *dataset.Corpus) error {
 		return err
 	}
 	for _, cc := range corpus.Countries() {
+		// Atomic replace: a crash (or a concurrent reader) never observes a
+		// half-written dataset, and a failed export leaves any previous
+		// file intact.
 		path := filepath.Join(outDir, cc+".csv")
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		if err := dataset.WriteCSV(f, corpus.Get(cc)); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		list := corpus.Get(cc)
+		if err := checkpoint.WriteFileAtomic(path, func(w io.Writer) error {
+			return dataset.WriteCSV(w, list)
+		}); err != nil {
 			return err
 		}
 	}
@@ -239,15 +305,10 @@ func exportZones(dir string, w *worldgen.World) error {
 		return err
 	}
 	for origin, zone := range zones {
-		f, err := os.Create(filepath.Join(zoneDir, origin+".zone"))
+		zone := zone
+		err := checkpoint.WriteFileAtomic(filepath.Join(zoneDir, origin+".zone"),
+			func(w io.Writer) error { return dnsserver.WriteZone(w, zone) })
 		if err != nil {
-			return err
-		}
-		if err := dnsserver.WriteZone(f, zone); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
 			return err
 		}
 	}

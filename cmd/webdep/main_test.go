@@ -104,3 +104,70 @@ func TestRunRejectsUnknownCountry(t *testing.T) {
 		t.Fatal("unknown country accepted")
 	}
 }
+
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	if err := run(options{Seed: 5, Sites: 50, Out: t.TempDir(), Countries: []string{"CZ"},
+		Checkpoint: t.TempDir()}); err == nil {
+		t.Error("-checkpoint without -live accepted")
+	}
+	if err := run(options{Seed: 5, Sites: 50, Out: t.TempDir(), Countries: []string{"CZ"},
+		Live: true, Resume: true}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+}
+
+// TestRunCheckpointResume drives the CLI path end to end: a checkpointed
+// live run leaves a journal, a second fresh run refuses to clobber it, a
+// -resume run replays it, and the resumed export matches the original.
+func TestRunCheckpointResume(t *testing.T) {
+	out1, out2 := t.TempDir(), t.TempDir()
+	ckpt := t.TempDir()
+	base := options{Seed: 5, Sites: 20, Countries: []string{"CZ"}, Live: true,
+		Workers: 8, Checkpoint: ckpt}
+
+	first := base
+	first.Out = out1
+	if err := run(first); err != nil {
+		t.Fatal(err)
+	}
+	journal := filepath.Join(ckpt, "2023-05.journal")
+	if _, err := os.Stat(journal); err != nil {
+		t.Fatalf("journal missing after checkpointed run: %v", err)
+	}
+
+	clobber := base
+	clobber.Out = t.TempDir()
+	if err := run(clobber); err == nil {
+		t.Fatal("second run truncated an existing journal without -resume")
+	}
+
+	resumed := base
+	resumed.Out = out2
+	resumed.Resume = true
+	if err := run(resumed); err != nil {
+		t.Fatal(err)
+	}
+
+	read := func(dir string) *dataset.CountryList {
+		f, err := os.Open(filepath.Join(dir, "2023-05", "CZ.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		list, err := dataset.ReadCSV(f, "2023-05")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return list
+	}
+	want, got := read(out1), read(out2)
+	if len(got.Sites) != len(want.Sites) {
+		t.Fatalf("resumed export has %d sites, original %d", len(got.Sites), len(want.Sites))
+	}
+	for i := range want.Sites {
+		if got.Sites[i] != want.Sites[i] {
+			t.Errorf("site %d differs after resume:\n original %+v\n resumed  %+v",
+				i, want.Sites[i], got.Sites[i])
+		}
+	}
+}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,7 +60,7 @@ func main() {
 
 	for _, cc := range ccs {
 		truth := w.Truth.Get(cc)
-		measured, err := live.CrawlCountry(cc, w.Config.Epoch, truth.Domains())
+		measured, err := live.CrawlCountry(context.Background(), cc, w.Config.Epoch, truth.Domains())
 		if err != nil {
 			fail(err)
 		}

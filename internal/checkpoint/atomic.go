@@ -1,0 +1,52 @@
+package checkpoint
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic writes a file via write-temp → fsync → rename so readers
+// (and crash recovery) only ever observe the old complete content or the
+// new complete content, never a torn file. The temp file lives in path's
+// directory so the rename stays on one filesystem; the directory itself is
+// fsynced afterwards so the rename survives a crash too. On any error the
+// temp file is removed and the destination is untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	// Until the rename succeeds, every exit removes the temp file.
+	defer os.Remove(tmpName)
+
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	// Persist the rename. Directory fsync is advisory on some platforms;
+	// a failure here does not un-write the file, so it is not fatal.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

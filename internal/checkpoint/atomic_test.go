@@ -1,0 +1,59 @@
+package checkpoint
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicReplacesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	for _, content := range []string{"first", "second generation"} {
+		err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != content {
+			t.Fatalf("file holds %q, want %q", got, content)
+		}
+	}
+}
+
+func TestWriteFileAtomicFailureLeavesOldFileAndNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.csv")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half a new file")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the writer's failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "precious" {
+		t.Fatalf("destination after failed write: %q, %v; want the old content intact", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}

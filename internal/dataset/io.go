@@ -62,9 +62,15 @@ func ReadCSV(r io.Reader, epoch string) (*CountryList, error) {
 		if err != nil {
 			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
 		}
+		if row[0] == "" {
+			return nil, fmt.Errorf("dataset: line %d: empty domain", line)
+		}
 		rank, err := strconv.Atoi(row[2])
 		if err != nil {
 			return nil, fmt.Errorf("dataset: line %d: bad rank %q", line, row[2])
+		}
+		if rank < 0 {
+			return nil, fmt.Errorf("dataset: line %d: negative rank %d", line, rank)
 		}
 		hostAnycast, err := strconv.ParseBool(row[7])
 		if err != nil {

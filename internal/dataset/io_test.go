@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCSVRoundTripHostileDomains round-trips domains the generic property
+// test does not reach: quoted, comma-carrying, and non-ASCII names must
+// survive WriteCSV → ReadCSV byte-identically.
+func TestCSVRoundTripHostileDomains(t *testing.T) {
+	domains := []string{
+		`quoted"name.example`,
+		"comma,name.example",
+		"ทีเอชดอทคอม.th", // IDN label, as registries publish them pre-punycode
+		"münchen.de",
+		" leading-space.example",
+	}
+	list := &CountryList{Country: "TH", Epoch: "2023-05"}
+	for i, d := range domains {
+		list.Sites = append(list.Sites, Website{
+			Domain: d, Country: "TH", Rank: i + 1, TLD: "th",
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, list); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "2023-05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sites) != len(domains) {
+		t.Fatalf("round trip kept %d of %d sites", len(got.Sites), len(domains))
+	}
+	for i := range list.Sites {
+		if got.Sites[i] != list.Sites[i] {
+			t.Errorf("site %d: want %+v, got %+v", i, list.Sites[i], got.Sites[i])
+		}
+	}
+}
+
+// TestReadCSVHeaderOnly: a file holding just the header is a valid, empty
+// country list — not an error and not a nil list.
+func TestReadCSVHeaderOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, &CountryList{Country: "US"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "2023-05")
+	if err != nil {
+		t.Fatalf("header-only file rejected: %v", err)
+	}
+	if got == nil || len(got.Sites) != 0 {
+		t.Fatalf("header-only file parsed as %+v, want empty list", got)
+	}
+	if got.Epoch != "2023-05" {
+		t.Errorf("epoch = %q, want caller-supplied 2023-05", got.Epoch)
+	}
+}
+
+// TestReadCSVRejectsBadRows: rows that parse as CSV but violate the data
+// model must fail with the offending line number in the error.
+func TestReadCSVRejectsBadRows(t *testing.T) {
+	row := func(domain, rank string) string {
+		return domain + ",US," + rank + ",p,US,ip,NA,false,p,US,ip,NA,false,ca,US,com,en"
+	}
+	header := strings.Join(csvHeader, ",")
+	cases := []struct {
+		name, body, wantLine string
+	}{
+		{"negative rank", header + "\n" + row("a.com", "-1"), "line 2"},
+		{"empty domain", header + "\n" + row("", "1"), "line 2"},
+		{"negative rank on a later line", header + "\n" + row("a.com", "1") + "\n" + row("b.com", "-7"), "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.body), "x")
+			if err == nil {
+				t.Fatal("accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Errorf("error %q does not name %s", err, tc.wantLine)
+			}
+		})
+	}
+}

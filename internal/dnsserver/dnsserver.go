@@ -198,15 +198,28 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dnsserver: %w", err)
 	}
-	s.udp, err = net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, fmt.Errorf("dnsserver: %w", err)
+	// DNS needs UDP and TCP on the same port. With an ephemeral request
+	// (port 0) the kernel picks the UDP port without regard to TCP, so the
+	// matching TCP bind can collide with an unrelated listener; retry the
+	// pair acquisition rather than failing on a roll of the dice.
+	attempts := 1
+	if udpAddr.Port == 0 {
+		attempts = 10
 	}
-	// Bind TCP to the same port UDP got.
-	s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
-	if err != nil {
+	for try := 0; ; try++ {
+		s.udp, err = net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return nil, fmt.Errorf("dnsserver: %w", err)
+		}
+		// Bind TCP to the same port UDP got.
+		s.tcp, err = net.Listen("tcp", s.udp.LocalAddr().String())
+		if err == nil {
+			break
+		}
 		s.udp.Close()
-		return nil, fmt.Errorf("dnsserver: %w", err)
+		if try+1 >= attempts {
+			return nil, fmt.Errorf("dnsserver: %w", err)
+		}
 	}
 	s.wg.Add(2)
 	go s.serveUDP()

@@ -1,0 +1,77 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestKillWriterForwardsUntilKillPoint(t *testing.T) {
+	var buf bytes.Buffer
+	killed := 0
+	kw := NewKillWriter(&buf, 2, 0, func() { killed++ })
+
+	for i, p := range [][]byte{[]byte("aaaa"), []byte("bbbb")} {
+		n, err := kw.Write(p)
+		if err != nil || n != 4 {
+			t.Fatalf("write %d: n=%d err=%v", i, n, err)
+		}
+	}
+	if kw.Killed() {
+		t.Fatal("killed before the kill point")
+	}
+	n, err := kw.Write([]byte("cccc"))
+	if !errors.Is(err, ErrKilled) {
+		t.Fatalf("fatal write: err=%v, want ErrKilled", err)
+	}
+	if n != 0 {
+		t.Fatalf("fatal write persisted %d bytes with ExtraBytes 0", n)
+	}
+	if got := buf.String(); got != "aaaabbbb" {
+		t.Fatalf("stream holds %q, want exactly the pre-kill writes", got)
+	}
+	if killed != 1 {
+		t.Fatalf("onKill ran %d times, want once", killed)
+	}
+
+	// Everything after the kill fails without touching the stream.
+	if _, err := kw.Write([]byte("d")); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill write: err=%v", err)
+	}
+	if err := kw.Sync(); !errors.Is(err, ErrKilled) {
+		t.Fatalf("post-kill sync: err=%v", err)
+	}
+	if killed != 1 {
+		t.Fatalf("onKill ran %d times after extra writes, want once", killed)
+	}
+	if got := buf.String(); got != "aaaabbbb" {
+		t.Fatalf("post-kill writes leaked into the stream: %q", got)
+	}
+}
+
+func TestKillWriterTearsMidWrite(t *testing.T) {
+	var buf bytes.Buffer
+	kw := NewKillWriter(&buf, 1, 3, nil)
+
+	if _, err := kw.Write([]byte("record-0")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := kw.Write([]byte("record-1"))
+	if !errors.Is(err, ErrKilled) {
+		t.Fatalf("torn write: err=%v, want ErrKilled", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write persisted %d bytes, want 3", n)
+	}
+	if got := buf.String(); got != "record-0rec" {
+		t.Fatalf("stream holds %q, want a 3-byte tear of the second record", got)
+	}
+}
+
+func TestKillWriterSyncPassesThroughBeforeKill(t *testing.T) {
+	// bytes.Buffer has no Sync; the wrapper must treat that as success.
+	kw := NewKillWriter(&bytes.Buffer{}, 1, 0, nil)
+	if err := kw.Sync(); err != nil {
+		t.Fatalf("pre-kill sync on syncless writer: %v", err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/webdep/webdep/internal/checkpoint"
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/langid"
 	"github.com/webdep/webdep/internal/obs"
@@ -58,6 +59,17 @@ type Live struct {
 	// FailFast aborts CrawlCorpus with an error at the first country
 	// below MinCoverage instead of flagging it degraded and continuing.
 	FailFast bool
+
+	// Checkpoint, when non-nil, makes the crawl crash-safe: every
+	// completed site is journaled, and a journal reopened with
+	// checkpoint.Resume replays finished sites so only missing or lost
+	// ones are re-probed. Replayed results merge into the corpus before
+	// coverage accounting, so a resumed crawl converges to the exact
+	// corpus of an uninterrupted run. The journal must carry this crawl's
+	// epoch and country set; CrawlCorpus refuses a mismatched one. If the
+	// journal's disk fails mid-crawl the journal disarms and the crawl
+	// continues — check Checkpoint.Err afterwards.
+	Checkpoint *checkpoint.Journal
 
 	// Obs selects the metrics registry the crawl records to; nil means
 	// obs.Default(). CrawlCorpus propagates it to the DNS client, TLS
@@ -143,10 +155,12 @@ func (l *Live) minCoverage() float64 {
 	return l.MinCoverage
 }
 
-// CrawlCountry measures one country's domains end-to-end. Per-domain
-// failures leave the affected fields empty rather than failing the crawl.
-func (l *Live) CrawlCountry(cc, epoch string, domains []string) (*dataset.CountryList, error) {
-	corpus, err := l.CrawlCorpus(context.Background(), epoch, []string{cc},
+// CrawlCountry measures one country's domains end-to-end over the same
+// context-aware path as CrawlCorpus: cancelling ctx aborts the crawl
+// promptly with the context's error. Per-domain failures leave the
+// affected fields empty rather than failing the crawl.
+func (l *Live) CrawlCountry(ctx context.Context, cc, epoch string, domains []string) (*dataset.CountryList, error) {
+	corpus, err := l.CrawlCorpus(ctx, epoch, []string{cc},
 		func(string) []string { return domains }, nil)
 	if err != nil {
 		return nil, err
@@ -167,6 +181,13 @@ func (l *Live) CrawlCountry(cc, epoch string, domains []string) (*dataset.Countr
 func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, domainsOf func(cc string) []string, progress func(cc string, sites int)) (*dataset.Corpus, error) {
 	if l.DNS == nil || l.Scanner == nil {
 		return nil, fmt.Errorf("pipeline: live crawl needs DNS client and TLS scanner")
+	}
+	if l.Checkpoint != nil {
+		// A journal from another campaign must never merge silently: the
+		// epoch and country set have to match exactly.
+		if err := l.Checkpoint.Matches(epoch, ccs); err != nil {
+			return nil, err
+		}
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -219,7 +240,28 @@ func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, doma
 			return err
 		}
 		i, j := ccOf[k], domOf[k]
+		if l.Checkpoint != nil {
+			// Resume path: a journaled site with no transient loss is not
+			// re-probed — its stored result merges into the corpus (and
+			// its outcome into the coverage accounting) exactly as if this
+			// run had crawled it.
+			if w, o, ok := l.Checkpoint.Reuse(ccs[i], domains[i][j]); ok {
+				sites[i][j], outcomes[i][j] = w, o
+				if progress != nil && atomic.AddInt64(&remaining[i], -1) == 0 {
+					progressMu.Lock()
+					progress(ccs[i], len(sites[i]))
+					progressMu.Unlock()
+				}
+				return nil
+			}
+		}
 		sites[i][j], outcomes[i][j] = l.crawlOne(ctx, ccs[i], domains[i][j], j+1)
+		if l.Checkpoint != nil {
+			// Journal the completed site before it can be lost to a crash.
+			// Append never fails the crawl: a dead checkpoint disk disarms
+			// journaling and the campaign keeps its results.
+			l.Checkpoint.Append(ccs[i], sites[i][j], outcomes[i][j])
+		}
 		if progress != nil && atomic.AddInt64(&remaining[i], -1) == 0 {
 			progressMu.Lock()
 			progress(ccs[i], len(sites[i]))

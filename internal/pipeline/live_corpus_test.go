@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
 
 	"github.com/webdep/webdep/internal/liveworld"
 	"github.com/webdep/webdep/internal/resolver"
@@ -53,7 +54,7 @@ func TestCrawlCorpusMatchesPerCountryCrawls(t *testing.T) {
 	}
 
 	for _, cc := range ccs {
-		perCountry, err := live.CrawlCountry(cc, "2023-05", w.Truth.Get(cc).Domains())
+		perCountry, err := live.CrawlCountry(context.Background(), cc, "2023-05", w.Truth.Get(cc).Domains())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,6 +101,29 @@ func TestCrawlCorpusCancellation(t *testing.T) {
 	}
 	if corpus != nil {
 		t.Error("cancelled crawl returned a corpus")
+	}
+}
+
+// TestCrawlCountryCancellation: the single-country entry point rides
+// CrawlCorpus's context-aware path, so a cancelled context must stop it
+// promptly with the context's error instead of crawling to completion.
+func TestCrawlCountryCancellation(t *testing.T) {
+	w, live, done := serveLive(t, "TH")
+	defer done()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	list, err := live.CrawlCountry(ctx, "TH", "2023-05", w.Truth.Get("TH").Domains())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if list != nil {
+		t.Error("cancelled crawl returned a country list")
+	}
+	// "Promptly": nowhere near the time a 40-site crawl would take.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancelled crawl took %v to stop", elapsed)
 	}
 }
 

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"github.com/webdep/webdep/internal/countries"
@@ -40,7 +41,7 @@ func TestLiveCrawlMatchesTruth(t *testing.T) {
 
 	for _, cc := range []string{"TH", "CZ"} {
 		truth := w.Truth.Get(cc)
-		measured, err := live.CrawlCountry(cc, "2023-05", truth.Domains())
+		measured, err := live.CrawlCountry(context.Background(), cc, "2023-05", truth.Domains())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestLiveLanguageDetection(t *testing.T) {
 		DetectLanguage: true,
 	}
 	truth := w.Truth.Get("TH")
-	measured, err := live.CrawlCountry("TH", "2023-05", truth.Domains())
+	measured, err := live.CrawlCountry(context.Background(), "TH", "2023-05", truth.Domains())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestLiveLanguageDetection(t *testing.T) {
 
 func TestLiveCrawlRequiresClients(t *testing.T) {
 	live := &Live{Pipeline: &Pipeline{}}
-	if _, err := live.CrawlCountry("US", "x", []string{"a.com"}); err == nil {
+	if _, err := live.CrawlCountry(context.Background(), "US", "x", []string{"a.com"}); err == nil {
 		t.Error("crawl without clients accepted")
 	}
 }
