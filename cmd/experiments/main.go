@@ -248,7 +248,7 @@ func (h *harness) fig1() error {
 	report.RankCurves(os.Stdout, "Figure 1: cumulative share by provider rank", corpus, countries.Hosting, present, 15)
 	fmt.Println()
 	for _, cc := range present {
-		d := corpus.Get(cc).Distribution(countries.Hosting)
+		d := corpus.DistributionOf(cc, countries.Hosting)
 		fmt.Printf("%s: top-5 share %.1f%%  S = %.4f\n", cc, d.TopNShare(5)*100, d.Score())
 	}
 	fmt.Println("\npaper: AZ and HK both have top-5 = 59% yet differ in S (0.1743 vs 0.1180).")
@@ -595,8 +595,8 @@ func (h *harness) coverage() error {
 	}
 	worst := 0
 	worstCC := ""
-	for cc, list := range corpus.Lists {
-		n := list.Distribution(countries.Hosting).ProvidersForCoverage(0.90)
+	for _, cc := range corpus.Countries() {
+		n := corpus.DistributionOf(cc, countries.Hosting).ProvidersForCoverage(0.90)
 		if n > worst {
 			worst, worstCC = n, cc
 		}
@@ -657,7 +657,7 @@ func (h *harness) tails() error {
 	fmt.Printf("%-4s %10s %10s\n", "CC", "tailShare", "S")
 	rows := analysis.SortedScores(corpus, countries.Hosting)
 	for _, row := range rows {
-		dist := corpus.Get(row.Code).Distribution(countries.Hosting)
+		dist := corpus.DistributionOf(row.Code, countries.Hosting)
 		var tail float64
 		for _, ps := range dist.Ranked() {
 			if ps.Count < cut {
@@ -693,11 +693,10 @@ func (h *harness) topProviders() error {
 	}
 	anchors := []string{"TH", "US", "IR", "BG", "LT", "JP"}
 	for _, cc := range anchors {
-		list := corpus.Get(cc)
-		if list == nil {
+		dist := corpus.DistributionOf(cc, countries.Hosting)
+		if dist == nil {
 			continue
 		}
-		dist := list.Distribution(countries.Hosting)
 		fmt.Printf("%s (S = %.4f, %d providers):\n", cc, dist.Score(), dist.NumProviders())
 		for i, ps := range dist.Top(10) {
 			fmt.Printf("  #%-2d %-28s %6.1f%%\n", i+1, ps.Provider, ps.Share*100)

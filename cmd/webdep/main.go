@@ -325,7 +325,7 @@ func printSummary(corpus *dataset.Corpus) {
 	for _, cc := range corpus.Countries() {
 		fmt.Printf("%-4s", cc)
 		for _, layer := range countries.Layers {
-			fmt.Printf(" %9.4f", corpus.Get(cc).Distribution(layer).Score())
+			fmt.Printf(" %9.4f", corpus.DistributionOf(cc, layer).Score())
 		}
 		// Scores over an under-covered crawl reflect measurement loss;
 		// say so next to the numbers.

@@ -7,6 +7,7 @@ package analysis
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"github.com/webdep/webdep/internal/classify"
@@ -44,20 +45,21 @@ func SortedInsularity(corpus *dataset.Corpus, layer countries.Layer) []CountrySc
 }
 
 // Insularities computes per-country insularity for any layer, handling the
-// TLD layer's ccTLD semantics.
+// TLD layer's ccTLD semantics. The TLD path reads the scoring index's
+// per-country TLD count columns — O(distinct TLDs) instead of O(sites),
+// with identical tallies since the per-TLD counts are exact integers.
 func Insularities(corpus *dataset.Corpus, layer countries.Layer) map[string]float64 {
 	if layer != countries.TLD {
 		return corpus.Insularities(layer)
 	}
 	out := make(map[string]float64, len(corpus.Lists))
-	for cc, list := range corpus.Lists {
+	for _, cc := range corpus.Countries() {
 		var ins core.Insularity
-		for i := range list.Sites {
-			tld := list.Sites[i].TLD
-			if tld == "" {
-				continue
+		for _, ps := range corpus.DistributionOf(cc, countries.TLD).Ranked() {
+			ins.Total += ps.Count
+			if home := tldinfo.InsularTo(ps.Provider); home != "" && home == cc {
+				ins.Domestic += ps.Count
 			}
-			ins.Observe(cc, tldinfo.InsularTo(tld))
 		}
 		out[cc] = ins.Fraction()
 	}
@@ -214,14 +216,21 @@ func SummarizeLayer(corpus *dataset.Corpus, layer countries.Layer) LayerSummary 
 }
 
 // SummarizeLayers summarizes every layer of the corpus concurrently, one
-// pool slot per layer (each summary in turn fans its per-country scoring
-// out over the corpus's own worker pool). The slice follows the order of
+// pool slot per layer (the first summary to run builds the corpus's shared
+// scoring index; the rest read it). The slice follows the order of
 // countries.Layers and is identical to calling SummarizeLayer serially.
 func SummarizeLayers(corpus *dataset.Corpus) []LayerSummary {
-	sums, _ := parallel.Map(context.Background(), len(countries.Layers), len(countries.Layers),
+	sums, err := parallel.Map(context.Background(), len(countries.Layers), len(countries.Layers),
 		func(_ context.Context, i int) (LayerSummary, error) {
 			return SummarizeLayer(corpus, countries.Layers[i]), nil
 		})
+	if err != nil {
+		// SummarizeLayer cannot fail and the context is never cancelled,
+		// so Map cannot err here (TestSummarizeLayersMapCannotFail pins
+		// the invariant); panicking instead of discarding the error keeps
+		// a future fallible summary from silently zero-filling the slice.
+		panic(fmt.Sprintf("analysis: layer summary failed: %v", err))
+	}
 	return sums
 }
 

@@ -92,8 +92,8 @@ func Longitudinal(a, b *dataset.Corpus) (*LongitudinalResult, error) {
 		xs = append(xs, scoresA[cc])
 		ys = append(ys, scoresB[cc])
 		jaccards = append(jaccards, stats.Jaccard(a.Get(cc).Domains(), listB.Domains()))
-		cfA := a.Get(cc).Distribution(countries.Hosting).Share("Cloudflare")
-		cfB := listB.Distribution(countries.Hosting).Share("Cloudflare")
+		cfA := a.DistributionOf(cc, countries.Hosting).Share("Cloudflare")
+		cfB := b.DistributionOf(cc, countries.Hosting).Share("Cloudflare")
 		delta := (cfB - cfA) * 100
 		res.CloudflareDelta[cc] = delta
 		deltas = append(deltas, delta)

@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
 	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/parallel"
 )
 
 // TestSummarizeLayersMatchesSerial checks the concurrent all-layer summary
@@ -25,6 +27,43 @@ func TestSummarizeLayersMatchesSerial(t *testing.T) {
 	again := SummarizeLayers(mc)
 	if !reflect.DeepEqual(got, again) {
 		t.Error("SummarizeLayers not reproducible across runs")
+	}
+}
+
+// TestSummarizeLayersMapCannotFail pins the invariant behind the panic
+// guard in SummarizeLayers: parallel.Map with a background (never
+// cancelled) context and an infallible fn returns a nil error, so the
+// only way the guard fires is a future change that makes SummarizeLayer
+// fallible — which must then propagate instead of panicking. The second
+// half demonstrates that a fn error *is* surfaced by Map, i.e. the guard
+// is not masking anything today.
+func TestSummarizeLayersMapCannotFail(t *testing.T) {
+	_, mc := measuredCorpus(t)
+	// Exactly the call shape SummarizeLayers uses: layer-indexed Map over
+	// an infallible fn. Repeat to cover both cold and warm scoring index.
+	for round := 0; round < 3; round++ {
+		sums, err := parallel.Map(context.Background(), len(countries.Layers), len(countries.Layers),
+			func(_ context.Context, i int) (LayerSummary, error) {
+				return SummarizeLayer(mc, countries.Layers[i]), nil
+			})
+		if err != nil {
+			t.Fatalf("round %d: infallible layer Map returned %v", round, err)
+		}
+		if len(sums) != len(countries.Layers) {
+			t.Fatalf("round %d: %d summaries for %d layers", round, len(sums), len(countries.Layers))
+		}
+	}
+	// Sanity: Map does propagate real errors, so a fallible summary could
+	// never be silently zero-filled.
+	_, err := parallel.Map(context.Background(), len(countries.Layers), len(countries.Layers),
+		func(_ context.Context, i int) (LayerSummary, error) {
+			if i == 1 {
+				return LayerSummary{}, context.DeadlineExceeded
+			}
+			return LayerSummary{}, nil
+		})
+	if err == nil {
+		t.Fatal("Map swallowed a summary error")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"github.com/webdep/webdep/internal/cluster"
+	"github.com/webdep/webdep/internal/core"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
 )
@@ -250,9 +251,26 @@ func minMax(xs []float64) []float64 {
 }
 
 // CountryBreakdown computes, for one country, the share of sites served by
-// each provider class — one bar of the paper's Figure 7/14/15.
+// each provider class — one bar of the paper's Figure 7/14/15. It rebuilds
+// the list's distribution per call; when the list belongs to a corpus,
+// CountryBreakdownIndexed reads the corpus's cached scoring index instead.
 func CountryBreakdown(list *dataset.CountryList, layer countries.Layer, res *Result) map[Class]float64 {
-	dist := list.Distribution(layer)
+	return breakdownOf(list.Distribution(layer), res)
+}
+
+// CountryBreakdownIndexed is CountryBreakdown over a corpus's scoring
+// index: no per-call corpus scan, just reads of the frozen per-country
+// distribution. It returns an empty breakdown for countries not in the
+// corpus.
+func CountryBreakdownIndexed(corpus *dataset.Corpus, cc string, layer countries.Layer, res *Result) map[Class]float64 {
+	dist := corpus.DistributionOf(cc, layer)
+	if dist == nil {
+		return make(map[Class]float64)
+	}
+	return breakdownOf(dist, res)
+}
+
+func breakdownOf(dist *core.Distribution, res *Result) map[Class]float64 {
 	out := make(map[Class]float64)
 	total := dist.Total()
 	if total == 0 {
@@ -265,15 +283,16 @@ func CountryBreakdown(list *dataset.CountryList, layer countries.Layer, res *Res
 }
 
 // ClassShares computes each country's total share on a set of providers
-// (used for the correlation experiments: XL-GP share vs 𝒮, etc.).
+// (used for the correlation experiments: XL-GP share vs 𝒮, etc.), reading
+// the corpus's scoring index.
 func ClassShares(corpus *dataset.Corpus, layer countries.Layer, res *Result, classes ...Class) map[string]float64 {
 	want := make(map[Class]bool, len(classes))
 	for _, c := range classes {
 		want[c] = true
 	}
 	out := make(map[string]float64, len(corpus.Lists))
-	for cc, list := range corpus.Lists {
-		dist := list.Distribution(layer)
+	for _, cc := range corpus.Countries() {
+		dist := corpus.DistributionOf(cc, layer)
 		total := dist.Total()
 		if total == 0 {
 			out[cc] = 0

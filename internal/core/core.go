@@ -18,9 +18,27 @@ import (
 // Distribution is an observed distribution of an Internet function over
 // providers: how many websites depend on each provider. The zero value is
 // an empty distribution ready to use.
+//
+// The derived views (Score, HHI, Ranked, Counts, RankCurve, TopNShare,
+// ProvidersForCoverage) are memoized: the first call sorts the counts once
+// and every later call reads the cached ordering until the next mutation
+// (Add, Observe, Merge) discards it. A frozen distribution — one whose
+// caches have been warmed via Freeze, or any distribution handed out by
+// the dataset scoring index — is safe for concurrent readers as long as
+// nobody mutates it; an unfrozen distribution must not have its first
+// derived-view call race with another reader.
 type Distribution struct {
 	counts map[string]float64
 	total  float64
+
+	// Memoized derived state, valid only while frozen is true. sorted and
+	// ranked are never modified in place once built; mutation replaces
+	// them wholesale via unfreeze.
+	frozen bool
+	sorted []float64       // counts, nonincreasing
+	ranked []ProviderShare // by (count desc, provider asc)
+	score  float64
+	hhi    float64
 }
 
 // NewDistribution returns an empty distribution.
@@ -38,6 +56,36 @@ func FromCounts(counts map[string]float64) *Distribution {
 	return d
 }
 
+// FromSorted builds a frozen distribution directly from provider/count
+// vectors already ordered by (count descending, provider ascending) with
+// strictly positive counts and distinct providers — the columnar form the
+// dataset scoring index extracts. It skips the re-sort that Freeze would
+// pay and returns with every derived view memoized, so the result is safe
+// for concurrent readers immediately.
+func FromSorted(providers []string, counts []float64) *Distribution {
+	d := &Distribution{counts: make(map[string]float64, len(providers))}
+	var total float64
+	for _, n := range counts {
+		total += n
+	}
+	d.total = total
+	d.sorted = append([]float64(nil), counts...)
+	d.ranked = make([]ProviderShare, len(providers))
+	for i, p := range providers {
+		n := counts[i]
+		d.counts[p] = n
+		share := 0.0
+		if total > 0 {
+			share = n / total
+		}
+		d.ranked[i] = ProviderShare{Provider: p, Count: n, Share: share}
+	}
+	d.score = emd.CentralizationSorted(d.sorted)
+	d.hhi = hhiOf(d.sorted, total)
+	d.frozen = true
+	return d
+}
+
 // Add records that n additional websites depend on the provider.
 // Nonpositive n is ignored.
 func (d *Distribution) Add(provider string, n float64) {
@@ -47,8 +95,71 @@ func (d *Distribution) Add(provider string, n float64) {
 	if d.counts == nil {
 		d.counts = make(map[string]float64)
 	}
+	d.unfreeze()
 	d.counts[provider] += n
 	d.total += n
+}
+
+// unfreeze discards the memoized derived views before a mutation.
+func (d *Distribution) unfreeze() {
+	if d.frozen {
+		d.frozen = false
+		d.sorted = nil
+		d.ranked = nil
+	}
+}
+
+// Freeze warms every memoized derived view (sorted counts, provider
+// ranking, score, HHI) and returns d. After Freeze, the read-only methods
+// perform no writes, making the distribution safe for concurrent readers
+// until the next mutation. Freezing an already-frozen distribution is a
+// no-op.
+func (d *Distribution) Freeze() *Distribution {
+	d.freeze()
+	return d
+}
+
+// freeze builds the memoized views if they are stale.
+func (d *Distribution) freeze() {
+	if d.frozen {
+		return
+	}
+	d.ranked = make([]ProviderShare, 0, len(d.counts))
+	for p, n := range d.counts {
+		share := 0.0
+		if d.total > 0 {
+			share = n / d.total
+		}
+		d.ranked = append(d.ranked, ProviderShare{Provider: p, Count: n, Share: share})
+	}
+	sort.Slice(d.ranked, func(i, j int) bool {
+		if d.ranked[i].Count != d.ranked[j].Count {
+			return d.ranked[i].Count > d.ranked[j].Count
+		}
+		return d.ranked[i].Provider < d.ranked[j].Provider
+	})
+	d.sorted = make([]float64, len(d.ranked))
+	for i := range d.ranked {
+		d.sorted[i] = d.ranked[i].Count
+	}
+	d.score = emd.CentralizationSorted(d.sorted)
+	d.hhi = hhiOf(d.sorted, d.total)
+	d.frozen = true
+}
+
+// hhiOf computes Σ (a_i/C)² over a count vector; summation runs in slice
+// order, so the memoized HHI is deterministic (the pre-memoization code
+// summed in map-iteration order, which randomized the last ulp).
+func hhiOf(counts []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	var sum float64
+	for _, n := range counts {
+		s := n / total
+		sum += s * s
+	}
+	return sum
 }
 
 // Observe records a single website's dependence on the provider.
@@ -81,14 +192,11 @@ func (d *Distribution) Share(provider string) float64 {
 	return d.counts[provider] / d.total
 }
 
-// Counts returns the provider counts in nonincreasing order.
+// Counts returns the provider counts in nonincreasing order. The slice is
+// a fresh copy the caller may keep or modify.
 func (d *Distribution) Counts() []float64 {
-	out := make([]float64, 0, len(d.counts))
-	for _, n := range d.counts {
-		out = append(out, n)
-	}
-	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
-	return out
+	d.freeze()
+	return append([]float64(nil), d.sorted...)
 }
 
 // ProviderShare pairs a provider with its market share.
@@ -99,27 +207,16 @@ type ProviderShare struct {
 }
 
 // Ranked returns all providers ordered by decreasing count (ties broken by
-// name for determinism).
+// name for determinism). The returned slice is the memoized ranking shared
+// with later calls: callers must treat it as read-only.
 func (d *Distribution) Ranked() []ProviderShare {
-	out := make([]ProviderShare, 0, len(d.counts))
-	for p, n := range d.counts {
-		share := 0.0
-		if d.total > 0 {
-			share = n / d.total
-		}
-		out = append(out, ProviderShare{Provider: p, Count: n, Share: share})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Provider < out[j].Provider
-	})
-	return out
+	d.freeze()
+	return d.ranked
 }
 
 // Top returns the n largest providers (or fewer if the distribution is
-// smaller).
+// smaller). Like Ranked, the result aliases the memoized ranking and must
+// be treated as read-only.
 func (d *Distribution) Top(n int) []ProviderShare {
 	ranked := d.Ranked()
 	if n < len(ranked) {
@@ -135,21 +232,17 @@ func (d *Distribution) Top(n int) []ProviderShare {
 // the Earth Mover's Distance from the observed distribution to the fully
 // decentralized reference where every website has its own provider
 // (Section 3.2, Appendix A). Empty distributions score 0.
-func (d *Distribution) Score() float64 { return emd.Centralization(d.Counts()) }
+func (d *Distribution) Score() float64 {
+	d.freeze()
+	return d.score
+}
 
 // HHI returns the Herfindahl–Hirschman Index Σ (a_i/C)², the antitrust
 // concentration measure of which 𝒮 is an instantiation up to the 1/C
 // correction.
 func (d *Distribution) HHI() float64 {
-	if d.total == 0 {
-		return 0
-	}
-	var sum float64
-	for _, n := range d.counts {
-		s := n / d.total
-		sum += s * s
-	}
-	return sum
+	d.freeze()
+	return d.hhi
 }
 
 // TopNShare returns the share of websites covered by the n largest

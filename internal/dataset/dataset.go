@@ -5,13 +5,13 @@
 package dataset
 
 import (
-	"context"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/webdep/webdep/internal/core"
 	"github.com/webdep/webdep/internal/countries"
-	"github.com/webdep/webdep/internal/parallel"
 )
 
 // Website is one enriched toplist row. String fields are empty when the
@@ -148,6 +148,15 @@ type Corpus struct {
 	// live crawl (synthetic fast-path, CSV round trips): those have no
 	// probe loss by construction.
 	CoverageByCountry map[string]*Coverage
+
+	// scoring caches the columnar scoring index every analysis entry
+	// point reads (see index.go). It is built lazily on first use —
+	// double-checked through the atomic pointer with buildMu serializing
+	// builders — and dropped by Add, SetCoverage, and
+	// InvalidateScoringIndex. The pointer, not the Corpus, carries the
+	// synchronization: a Corpus must not be copied by value once in use.
+	scoring atomic.Pointer[scoringIndex]
+	buildMu sync.Mutex
 }
 
 // NewCorpus returns an empty corpus for the epoch.
@@ -155,8 +164,13 @@ func NewCorpus(epoch string) *Corpus {
 	return &Corpus{Epoch: epoch, Lists: make(map[string]*CountryList)}
 }
 
-// Add inserts (or replaces) a country list.
-func (c *Corpus) Add(list *CountryList) { c.Lists[list.Country] = list }
+// Add inserts (or replaces) a country list and invalidates the scoring
+// index, so a mutate-then-score sequence (e.g. the checkpoint-resume merge
+// in pipeline.Live) always scores the corpus it sees.
+func (c *Corpus) Add(list *CountryList) {
+	c.Lists[list.Country] = list
+	c.InvalidateScoringIndex()
+}
 
 // Get returns the list for a country, or nil.
 func (c *Corpus) Get(country string) *CountryList { return c.Lists[country] }
@@ -172,12 +186,15 @@ func (c *Corpus) Countries() []string {
 }
 
 // SetCoverage attaches one country's coverage accounting, creating the
-// corpus's coverage map on first use.
+// corpus's coverage map on first use. Coverage does not feed the scoring
+// index, but attaching it marks the corpus as mid-mutation (a live crawl
+// interleaves Add and SetCoverage), so the index is invalidated alongside.
 func (c *Corpus) SetCoverage(cov *Coverage) {
 	if c.CoverageByCountry == nil {
 		c.CoverageByCountry = make(map[string]*Coverage)
 	}
 	c.CoverageByCountry[cov.Country] = cov
+	c.InvalidateScoringIndex()
 }
 
 // CoverageOf returns the coverage accounting for a country, or nil when the
@@ -209,82 +226,64 @@ func (c *Corpus) TotalSites() int {
 	return n
 }
 
-// Scores computes the centralization score per country for one layer,
-// fanning the per-country distributions out over the corpus's worker pool.
+// Scores returns the centralization score per country for one layer, read
+// from the scoring index (one parallel corpus pass on first use, map reads
+// after). The returned map is the caller's to keep or modify.
 func (c *Corpus) Scores(layer countries.Layer) map[string]float64 {
-	return c.perCountry(func(l *CountryList) float64 {
-		return l.Distribution(layer).Score()
-	})
+	return cloneScores(c.index().layers[layer].scores)
 }
 
-// Insularities computes the insularity fraction per country for one layer.
+// Insularities returns the insularity fraction per country for one layer,
+// read from the scoring index. The returned map is the caller's.
 func (c *Corpus) Insularities(layer countries.Layer) map[string]float64 {
-	return c.perCountry(func(l *CountryList) float64 {
-		return l.Insularity(layer).Fraction()
-	})
+	return cloneScores(c.index().layers[layer].insular)
 }
 
-// perCountry evaluates fn for every country list concurrently (bounded by
-// c.Workers) and keys the index-addressed results by country code. The fn
-// invocations only read the corpus, so any worker count yields the same map.
-func (c *Corpus) perCountry(fn func(*CountryList) float64) map[string]float64 {
-	ccs := c.Countries()
-	vals, _ := parallel.Map(context.Background(), c.Workers, len(ccs),
-		func(_ context.Context, i int) (float64, error) {
-			return fn(c.Lists[ccs[i]]), nil
-		})
-	out := make(map[string]float64, len(ccs))
-	for i, cc := range ccs {
-		out[cc] = vals[i]
+// DistributionOf returns the frozen provider distribution of one country's
+// layer from the scoring index, or nil when the country is not in the
+// corpus. The distribution is shared with every other caller and with the
+// index itself: it is safe for concurrent reads and must not be mutated
+// (use CountryList.Distribution for a private, mutable copy).
+func (c *Corpus) DistributionOf(country string, layer countries.Layer) *core.Distribution {
+	idx := c.index()
+	i, ok := idx.pos[country]
+	if !ok {
+		return nil
 	}
-	return out
+	return idx.layers[layer].cols[i].dist
 }
 
 // GlobalDistribution aggregates every country list into a single provider
 // distribution for the layer — the "Global Top 10k"-style marker in the
 // paper's Figure 12 (each country's list contributes its sites). The
-// per-country distributions are built concurrently and merged in sorted
-// country order; counts are integers, so the merge is exact.
+// result is the index's frozen per-layer merge: shared, safe for
+// concurrent reads, and not to be mutated. Counts are integers, so the
+// merge is exact in any order.
 func (c *Corpus) GlobalDistribution(layer countries.Layer) *core.Distribution {
-	ccs := c.Countries()
-	dists, _ := parallel.Map(context.Background(), c.Workers, len(ccs),
-		func(_ context.Context, i int) (*core.Distribution, error) {
-			return c.Lists[ccs[i]].Distribution(layer), nil
-		})
-	d := core.NewDistribution()
-	for _, cd := range dists {
-		d.Merge(cd)
-	}
-	return d
+	return c.index().layers[layer].global
 }
 
 // UsageMatrix returns, for one layer, each provider's usage percentage per
 // country: provider → country → percent of that country's measured sites.
-// The per-country distributions are built concurrently; the merge into the
-// nested map happens on the caller's goroutine in sorted country order.
+// The nested maps are built fresh per call (callers reshape them) from the
+// index's columnar count vectors in sorted country order.
 func (c *Corpus) UsageMatrix(layer countries.Layer) map[string]map[string]float64 {
-	ccs := c.Countries()
-	type usage struct {
-		ranked []core.ProviderShare
-		total  float64
-	}
-	rows, _ := parallel.Map(context.Background(), c.Workers, len(ccs),
-		func(_ context.Context, i int) (usage, error) {
-			dist := c.Lists[ccs[i]].Distribution(layer)
-			return usage{ranked: dist.Ranked(), total: dist.Total()}, nil
-		})
+	idx := c.index()
+	ly := &idx.layers[layer]
 	matrix := make(map[string]map[string]float64)
-	for i, cc := range ccs {
-		if rows[i].total == 0 {
+	for i, cc := range idx.countries {
+		col := &ly.cols[i]
+		if col.total == 0 {
 			continue
 		}
-		for _, ps := range rows[i].ranked {
-			m := matrix[ps.Provider]
+		for k, sym := range col.syms {
+			provider := idx.providers.name(sym)
+			m := matrix[provider]
 			if m == nil {
 				m = make(map[string]float64)
-				matrix[ps.Provider] = m
+				matrix[provider] = m
 			}
-			m[cc] = 100 * ps.Count / rows[i].total
+			m[cc] = 100 * col.counts[k] / col.total
 		}
 	}
 	return matrix

@@ -1,0 +1,236 @@
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/webdep/webdep/internal/core"
+	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/parallel"
+)
+
+// This file implements the corpus's columnar scoring index: every
+// corpus-wide analysis entry point (Scores, Insularities,
+// GlobalDistribution, UsageMatrix, UsageCurves, DistributionOf) reads from
+// one immutable structure extracted in a single parallel pass over the
+// website rows, instead of re-scanning the corpus per call. The index is
+// built lazily behind a double-checked atomic pointer, so the first scoring
+// call pays one O(corpus) extraction and every later call — including the
+// dozens the experiments suite issues while regenerating Tables 1–8 and
+// Figures 1–13 — is a map read. Corpus.Add and Corpus.SetCoverage drop the
+// index, so mutate-then-score (the checkpoint-resume merge path) always
+// sees fresh numbers.
+
+// numLayers sizes the per-layer arrays; the layers are consecutive
+// iota values starting at Hosting.
+const numLayers = int(countries.TLD) + 1
+
+// symtab interns provider names to dense uint32 symbols, one table per
+// corpus. Symbols are assigned in deterministic order (sorted country,
+// layer, rank) during the index build, so two builds of the same corpus
+// produce identical tables.
+type symtab struct {
+	ids   map[string]uint32
+	names []string
+}
+
+func newSymtab() *symtab {
+	return &symtab{ids: make(map[string]uint32)}
+}
+
+// intern returns the symbol for name, assigning the next id on first use.
+func (s *symtab) intern(name string) uint32 {
+	if id, ok := s.ids[name]; ok {
+		return id
+	}
+	id := uint32(len(s.names))
+	s.ids[name] = id
+	s.names = append(s.names, name)
+	return id
+}
+
+// name returns the provider string behind a symbol.
+func (s *symtab) name(id uint32) string { return s.names[id] }
+
+// countryCol is one (country, layer) column of the index: the provider
+// count vector sorted by (count descending, provider ascending) — the
+// exact ordering Distribution.Ranked uses — in interned columnar form,
+// plus the precomputed score, insularity tally, and a frozen Distribution
+// view for callers that want the full metric API.
+type countryCol struct {
+	syms   []uint32  // interned providers, aligned with counts
+	counts []float64 // nonincreasing
+	total  float64
+	score  float64
+	ins    core.Insularity
+	dist   *core.Distribution // frozen; shared with every caller
+}
+
+// layerIndex is one layer's slice of the index.
+type layerIndex struct {
+	cols []countryCol // aligned with scoringIndex.countries
+	// scores and insular are the precomputed per-country result maps;
+	// accessors hand out clones so callers keep today's ownership
+	// semantics.
+	scores  map[string]float64
+	insular map[string]float64
+	global  *core.Distribution // frozen merge of every country's column
+}
+
+// scoringIndex is the complete immutable index. After build it is only
+// ever read, which is what makes concurrent Scores/GlobalDistribution/
+// UsageMatrix calls race-clean.
+type scoringIndex struct {
+	countries []string // sorted; aligned with layerIndex.cols
+	pos       map[string]int
+	providers *symtab
+	layers    [numLayers]layerIndex
+}
+
+// index returns the corpus's scoring index, building it on first use.
+// Concurrent callers during a build serialize on buildMu; the fast path
+// after a build is one atomic load.
+func (c *Corpus) index() *scoringIndex {
+	if idx := c.scoring.Load(); idx != nil {
+		return idx
+	}
+	c.buildMu.Lock()
+	defer c.buildMu.Unlock()
+	if idx := c.scoring.Load(); idx != nil {
+		return idx
+	}
+	idx := c.buildIndex()
+	c.scoring.Store(idx)
+	return idx
+}
+
+// InvalidateScoringIndex drops the cached scoring index so the next
+// scoring call rebuilds it from the current rows. Add and SetCoverage call
+// this automatically; callers that mutate a CountryList's Sites slice in
+// place (tests, benchmarks) must call it themselves.
+func (c *Corpus) InvalidateScoringIndex() { c.scoring.Store(nil) }
+
+// rawLayer is the per-worker extraction result for one (country, layer):
+// plain string-keyed counts (interning happens later, single-threaded, so
+// the symbol table needs no locking) and the insularity tally.
+type rawLayer struct {
+	counts map[string]uint32
+	ins    core.Insularity
+}
+
+// buildIndex extracts the whole index in one parallel pass over the
+// corpus: each worker scans one country's website rows once, tallying all
+// four layers simultaneously, and the deterministic merge (sorted country
+// order, layer order, rank order) happens on the calling goroutine.
+func (c *Corpus) buildIndex() *scoringIndex {
+	ccs := c.Countries()
+	raws, err := parallel.Map(context.Background(), c.Workers, len(ccs),
+		func(_ context.Context, i int) ([numLayers]rawLayer, error) {
+			return extractCountry(c.Lists[ccs[i]]), nil
+		})
+	if err != nil {
+		// Map only fails when fn errors or the context is cancelled;
+		// extractCountry is infallible and the context above is never
+		// cancelled, so this branch is unreachable (the invariant
+		// TestScoringExtractionCannotFail pins down). Panicking — rather
+		// than the old perCountry helper's silent `_ =` discard — means a
+		// future fallible extraction fails loudly instead of zero-filling
+		// every score.
+		panic(fmt.Sprintf("dataset: scoring-index extraction failed: %v", err))
+	}
+
+	idx := &scoringIndex{
+		countries: ccs,
+		pos:       make(map[string]int, len(ccs)),
+		providers: newSymtab(),
+	}
+	for i, cc := range ccs {
+		idx.pos[cc] = i
+	}
+	for l := 0; l < numLayers; l++ {
+		ly := &idx.layers[l]
+		ly.cols = make([]countryCol, len(ccs))
+		ly.scores = make(map[string]float64, len(ccs))
+		ly.insular = make(map[string]float64, len(ccs))
+		globalCounts := make(map[string]float64)
+		for i, cc := range ccs {
+			raw := &raws[i][l]
+			col := &ly.cols[i]
+			buildCol(col, raw, idx.providers)
+			ly.scores[cc] = col.score
+			ly.insular[cc] = col.ins.Fraction()
+			for p, n := range raw.counts {
+				globalCounts[p] += float64(n)
+			}
+		}
+		ly.global = core.FromCounts(globalCounts).Freeze()
+	}
+	return idx
+}
+
+// extractCountry tallies one country's provider counts and insularity for
+// every layer in a single scan over its website rows. Sites with an empty
+// provider are skipped and the TLD layer carries no insularity tally,
+// mirroring CountryList.Distribution and CountryList.Insularity exactly.
+func extractCountry(list *CountryList) [numLayers]rawLayer {
+	var out [numLayers]rawLayer
+	for l := range out {
+		out[l].counts = make(map[string]uint32)
+	}
+	for i := range list.Sites {
+		w := &list.Sites[i]
+		for _, layer := range countries.Layers {
+			p, pc := w.ProviderOf(layer)
+			if p == "" {
+				continue
+			}
+			raw := &out[layer]
+			raw.counts[p]++
+			if layer != countries.TLD {
+				raw.ins.Observe(list.Country, pc)
+			}
+		}
+	}
+	return out
+}
+
+// buildCol converts one raw (country, layer) tally into its columnar form:
+// sort providers by (count desc, name asc), intern them in that order, and
+// precompute the score and the frozen Distribution view. The sorted count
+// vector feeds emd.CentralizationSorted through core.FromSorted, so the
+// score is bit-identical to Distribution.Score over the same tally.
+func buildCol(col *countryCol, raw *rawLayer, providers *symtab) {
+	names := make([]string, 0, len(raw.counts))
+	for p := range raw.counts {
+		names = append(names, p)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ci, cj := raw.counts[names[i]], raw.counts[names[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return names[i] < names[j]
+	})
+	col.syms = make([]uint32, len(names))
+	col.counts = make([]float64, len(names))
+	for i, p := range names {
+		col.syms[i] = providers.intern(p)
+		n := float64(raw.counts[p])
+		col.counts[i] = n
+		col.total += n
+	}
+	col.dist = core.FromSorted(names, col.counts)
+	col.score = col.dist.Score()
+	col.ins = raw.ins
+}
+
+// cloneScores copies a precomputed result map so callers own their copy,
+// matching the pre-index API's semantics.
+func cloneScores(m map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

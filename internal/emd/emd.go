@@ -263,6 +263,29 @@ func Centralization(counts []float64) float64 {
 	return sumSq - 1/c
 }
 
+// CentralizationSorted computes 𝒮 over a count vector that is already
+// known to hold only positive counts (any order is accepted, but callers
+// hold vectors sorted nonincreasing — the form the scoring index caches).
+// It is the zero-allocation hot path behind Distribution.Score: two passes
+// over the input, no copies, no sorting. The result is bit-identical to
+// Centralization on the same slice, because both accumulate the total and
+// the sum of squared shares in slice order.
+func CentralizationSorted(counts []float64) float64 {
+	var c float64
+	for _, a := range counts {
+		c += a
+	}
+	if c == 0 {
+		return 0
+	}
+	var sumSq float64
+	for _, a := range counts {
+		share := a / c
+		sumSq += share * share
+	}
+	return sumSq - 1/c
+}
+
 // CentralizationInts is Centralization over integer website counts, the
 // natural form produced by the measurement pipeline.
 func CentralizationInts(counts []int) float64 {

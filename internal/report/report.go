@@ -209,7 +209,7 @@ func ClassBreakdown(w io.Writer, title string, corpus *dataset.Corpus, layer cou
 	fmt.Fprintln(w)
 	rows := analysis.SortedScores(corpus, layer)
 	for _, row := range rows {
-		breakdown := classify.CountryBreakdown(corpus.Get(row.Code), layer, res)
+		breakdown := classify.CountryBreakdownIndexed(corpus, row.Code, layer, res)
 		fmt.Fprintf(w, "%-4s %8.4f", row.Code, row.Value)
 		for _, class := range classify.Order {
 			fmt.Fprintf(w, " %7.1f%%", breakdown[class]*100)
@@ -280,7 +280,7 @@ func RankCurves(w io.Writer, title string, corpus *dataset.Corpus, layer countri
 	fmt.Fprintln(w)
 	curves := make([][]float64, len(ccs))
 	for i, cc := range ccs {
-		curves[i] = corpus.Get(cc).Distribution(layer).RankCurve()
+		curves[i] = corpus.DistributionOf(cc, layer).RankCurve()
 	}
 	for r := 0; r < maxRank; r++ {
 		fmt.Fprintf(w, "%4d", r+1)

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -29,7 +30,8 @@ func (e *ECDF) At(x float64) float64 {
 }
 
 // Quantile returns the q-quantile (q in [0,1]) using the nearest-rank
-// method. Out-of-range q values are clamped.
+// method: the smallest sample whose cumulative probability is at least q,
+// i.e. sorted sample ⌈q·n⌉ (1-based). Out-of-range q values are clamped.
 func (e *ECDF) Quantile(q float64) float64 {
 	n := len(e.sorted)
 	if n == 0 {
@@ -41,11 +43,17 @@ func (e *ECDF) Quantile(q float64) float64 {
 	if q >= 1 {
 		return e.sorted[n-1]
 	}
-	idx := int(q * float64(n)) // floor; nearest-rank
-	if idx >= n {
-		idx = n - 1
+	// Nearest rank is ⌈q·n⌉; the pre-fix code floored instead, which
+	// overshot by one sample whenever q·n was an exact integer (e.g.
+	// q=0.5, n=4 must take sample 2, not sample 3).
+	rank := int(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
 	}
-	return e.sorted[idx]
+	if rank > n {
+		rank = n
+	}
+	return e.sorted[rank-1]
 }
 
 // Len reports the number of samples behind the ECDF.

@@ -286,19 +286,67 @@ func TestECDF(t *testing.T) {
 }
 
 func TestECDFQuantile(t *testing.T) {
-	e := NewECDF([]float64{10, 20, 30, 40})
-	if q := e.Quantile(0); q != 10 {
-		t.Errorf("Quantile(0) = %v", q)
+	// Nearest-rank: the q-quantile is sorted sample ⌈q·n⌉ (1-based). The
+	// table covers exact-integer ranks (where the old floor indexing
+	// overshot by one) and fractional ranks (where floor and ceil-minus-one
+	// agree), across even and odd sample sizes.
+	four := []float64{10, 20, 30, 40}
+	five := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		name string
+		xs   []float64
+		q    float64
+		want float64
+	}{
+		{"clamp-low", four, 0, 10},
+		{"clamp-below", four, -0.5, 10},
+		{"clamp-high", four, 1, 40},
+		{"clamp-above", four, 1.5, 40},
+		// q·n integer: rank q·n exactly, index q·n−1.
+		{"median-even-n", four, 0.5, 20},    // 0.5·4 = 2 → sample 2
+		{"quartile-even-n", four, 0.25, 10}, // 0.25·4 = 1 → sample 1
+		{"p75-even-n", four, 0.75, 30},      // 0.75·4 = 3 → sample 3
+		{"fifth-exact", five, 0.2, 1},       // 0.2·5 = 1 → sample 1
+		{"p60-exact", five, 0.6, 3},         // 0.6·5 = 3 → sample 3
+		// q·n fractional: rank ⌈q·n⌉.
+		{"median-odd-n", five, 0.5, 3},    // ⌈2.5⌉ = 3 → sample 3
+		{"p90-even-n", four, 0.9, 40},     // ⌈3.6⌉ = 4 → sample 4
+		{"p10-odd-n", five, 0.1, 1},       // ⌈0.5⌉ = 1 → sample 1
+		{"p99-odd-n", five, 0.99, 5},      // ⌈4.95⌉ = 5 → sample 5
+		{"p30-even-n", four, 0.3, 20},     // ⌈1.2⌉ = 2 → sample 2
+		{"tiny-q-even-n", four, 1e-9, 10}, // ⌈~0⌉ clamps to rank 1
 	}
-	if q := e.Quantile(1); q != 40 {
-		t.Errorf("Quantile(1) = %v", q)
-	}
-	if q := e.Quantile(0.5); q != 30 {
-		t.Errorf("Quantile(0.5) = %v, want 30 (nearest rank)", q)
+	for _, tc := range cases {
+		e := NewECDF(tc.xs)
+		if got := e.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) over %v = %v, want %v", tc.name, tc.q, tc.xs, got, tc.want)
+		}
 	}
 	empty := NewECDF(nil)
 	if q := empty.Quantile(0.5); q != 0 {
 		t.Errorf("empty Quantile = %v", q)
+	}
+}
+
+// TestECDFQuantileConsistentWithAt pins the defining nearest-rank property:
+// Quantile(q) is the smallest sample x with At(x) ≥ q.
+func TestECDFQuantileConsistentWithAt(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	e := NewECDF(xs)
+	for _, q := range []float64{0.01, 0.1, 0.25, 1.0 / 3, 0.5, 0.6, 2.0 / 3, 0.75, 0.9, 0.99} {
+		got := e.Quantile(q)
+		if e.At(got) < q {
+			t.Errorf("At(Quantile(%v)) = %v < q", q, e.At(got))
+		}
+		// No smaller sample satisfies the bound.
+		for _, x := range e.sorted {
+			if x >= got {
+				break
+			}
+			if e.At(x) >= q {
+				t.Errorf("Quantile(%v) = %v is not the smallest sample with At ≥ q (%v qualifies)", q, got, x)
+			}
+		}
 	}
 }
 
