@@ -19,6 +19,7 @@ import (
 	"github.com/webdep/webdep/internal/analysis"
 	"github.com/webdep/webdep/internal/classify"
 	"github.com/webdep/webdep/internal/core"
+	"github.com/webdep/webdep/internal/corpusstore"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/divergence"
@@ -39,10 +40,12 @@ func main() {
 		geoErr  = flag.Bool("geoerr", false, "enable the 10.6% geolocation error model")
 		subsetF = flag.String("countries", "", "comma-separated country subset (default: all 150)")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "per-country measurement/scoring concurrency (results are identical for any value)")
+		fromStr = flag.String("from-store", "", "load the measured corpus from an on-disk corpus store instead of building and measuring a world")
 	)
 	flag.Parse()
 
 	h := newHarness(*seed, *sites, *geoErr, splitList(*subsetF), *workers)
+	h.fromStore = *fromStr
 	if *list {
 		for _, id := range h.ids() {
 			fmt.Printf("%-14s %s\n", id, h.experiments[id].desc)
@@ -93,6 +96,7 @@ type harness struct {
 	geoErr      bool
 	subset      []string
 	workers     int
+	fromStore   string
 	experiments map[string]experiment
 
 	world   *worldgen.World
@@ -172,6 +176,20 @@ func (h *harness) getWorld() (*worldgen.World, error) {
 func (h *harness) getCorpus() (*dataset.Corpus, error) {
 	if h.corpus != nil {
 		return h.corpus, nil
+	}
+	if h.fromStore != "" {
+		st, err := corpusstore.Open(h.fromStore, &corpusstore.Options{Workers: h.workers})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "loading corpus from store %s (epoch %s, %d sites)...\n",
+			h.fromStore, st.Epoch(), st.TotalSites())
+		corpus, err := st.Load()
+		if err != nil {
+			return nil, err
+		}
+		h.corpus = corpus
+		return corpus, nil
 	}
 	w, err := h.getWorld()
 	if err != nil {

@@ -8,6 +8,8 @@
 //	webdep -countries TH,IR,US -sites 2000 -out d/ # subset
 //	webdep -epoch2 -out data/                      # also emit the 2025-05 epoch
 //	webdep -live -countries TH -sites 50           # crawl over real sockets
+//	webdep -out data/ -store corpus.store          # also persist the binary corpus store
+//	webdep -from-store corpus.store -out data/     # export and score a stored corpus
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"strings"
 
 	"github.com/webdep/webdep/internal/checkpoint"
+	"github.com/webdep/webdep/internal/corpusstore"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/dnsserver"
@@ -57,6 +60,12 @@ type options struct {
 	// sites. See internal/checkpoint.
 	Checkpoint string
 	Resume     bool
+	// Store, when non-empty, also persists the measured corpus as a binary
+	// sharded store at the given directory (see internal/corpusstore);
+	// FromStore skips world building entirely and exports/scores an
+	// existing store instead.
+	Store     string
+	FromStore string
 	// Stats prints the observability registry (stage timings, probe
 	// latencies, retry/breaker counters) after the run.
 	Stats bool
@@ -81,6 +90,8 @@ func main() {
 		minCov    = flag.Float64("min-coverage", 1, "live mode: per-country coverage threshold; countries below it are flagged degraded (negative disables the check)")
 		ckpt      = flag.String("checkpoint", "", "live mode: journal completed probes to <dir>/<epoch>.journal for crash-safe resume")
 		resume    = flag.Bool("resume", false, "reopen the -checkpoint journal and re-probe only missing or lost sites")
+		store     = flag.String("store", "", "also persist the measured corpus as a binary sharded store at this directory")
+		fromStore = flag.String("from-store", "", "skip world building: export and score an existing corpus store")
 		stats     = flag.Bool("stats", false, "print the observability registry (stage timings, probe latencies, retry/breaker counters) after the run")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
@@ -92,6 +103,7 @@ func main() {
 		Zones: *zones, Workers: *workers,
 		FailFast: *failFast, MinCoverage: *minCov,
 		Checkpoint: *ckpt, Resume: *resume,
+		Store: *store, FromStore: *fromStore,
 		Stats: *stats, DebugAddr: *debugAddr,
 	}
 	if err := run(opts); err != nil {
@@ -120,6 +132,18 @@ func run(opts options) error {
 	if opts.Resume && opts.Checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
+	if opts.FromStore != "" {
+		switch {
+		case opts.Live:
+			return fmt.Errorf("-from-store reads an existing corpus; it cannot be combined with -live")
+		case opts.Store != "":
+			return fmt.Errorf("-from-store and -store are mutually exclusive")
+		case opts.Epoch2:
+			return fmt.Errorf("-from-store exports one stored epoch; it cannot be combined with -epoch2")
+		case opts.Zones:
+			return fmt.Errorf("-zones needs a generated world; it cannot be combined with -from-store")
+		}
+	}
 	if opts.DebugAddr != "" {
 		srv, err := obs.ServeDebug(opts.DebugAddr, obs.Default())
 		if err != nil {
@@ -132,6 +156,9 @@ func run(opts options) error {
 		defer func() {
 			report.StatsTable(os.Stderr, "observability", obs.Default().Snapshot())
 		}()
+	}
+	if opts.FromStore != "" {
+		return runFromStore(opts)
 	}
 
 	cfg := worldgen.Config{Seed: opts.Seed, SitesPerCountry: opts.Sites, Countries: opts.Countries}
@@ -168,11 +195,18 @@ func run(opts options) error {
 			return err
 		}
 	}
+	if opts.Store != "" {
+		if err := corpusstore.Save(opts.Store, corpus, &corpusstore.Options{Workers: opts.Workers}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "stored corpus (%d sites, %d countries) to %s\n",
+			corpus.TotalSites(), len(corpus.Lists), opts.Store)
+	}
 	if opts.Live {
 		report.CoverageTable(os.Stderr, "crawl coverage", corpus)
 	}
 	if opts.Summary {
-		printSummary(corpus)
+		printSummary(corpus.ScoreSet(), corpus.CoverageByCountry)
 	}
 
 	if opts.Epoch2 {
@@ -316,20 +350,62 @@ func exportZones(dir string, w *worldgen.World) error {
 	return nil
 }
 
-func printSummary(corpus *dataset.Corpus) {
+// runFromStore exports and scores an existing on-disk corpus store without
+// building a world: CSVs are written one country at a time (only one list
+// is ever resident) and the summary comes from the store's streamed
+// ScoreSet.
+func runFromStore(opts options) error {
+	st, err := corpusstore.Open(opts.FromStore, &corpusstore.Options{Workers: opts.Workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "opened store %s (epoch %s, %d countries, %d sites)\n",
+		opts.FromStore, st.Epoch(), len(st.Countries()), st.TotalSites())
+
+	exportSpan := obs.StartSpan(obs.Default().Timing("stage.export.ms"))
+	outDir := filepath.Join(opts.Out, st.Epoch())
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, cc := range st.Countries() {
+		list, err := st.ReadList(cc)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, cc+".csv")
+		if err := checkpoint.WriteFileAtomic(path, func(w io.Writer) error {
+			return dataset.WriteCSV(w, list)
+		}); err != nil {
+			return err
+		}
+	}
+	exportSpan.End()
+	fmt.Fprintf(os.Stderr, "wrote %d country files to %s\n", len(st.Countries()), outDir)
+
+	if opts.Summary {
+		ss, err := st.Score()
+		if err != nil {
+			return err
+		}
+		printSummary(ss, st.Coverage())
+	}
+	return nil
+}
+
+func printSummary(ss *dataset.ScoreSet, coverage map[string]*dataset.Coverage) {
 	fmt.Printf("%-4s", "CC")
 	for _, layer := range countries.Layers {
 		fmt.Printf(" %9s", layer)
 	}
 	fmt.Println()
-	for _, cc := range corpus.Countries() {
+	for _, cc := range ss.Countries() {
 		fmt.Printf("%-4s", cc)
 		for _, layer := range countries.Layers {
-			fmt.Printf(" %9.4f", corpus.DistributionOf(cc, layer).Score())
+			fmt.Printf(" %9.4f", ss.DistributionOf(cc, layer).Score())
 		}
 		// Scores over an under-covered crawl reflect measurement loss;
 		// say so next to the numbers.
-		if cov := corpus.CoverageOf(cc); cov != nil && cov.Degraded {
+		if cov := coverage[cc]; cov != nil && cov.Degraded {
 			fmt.Printf("  DEGRADED (coverage %.1f%%)", cov.Fraction()*100)
 		}
 		fmt.Println()

@@ -1,0 +1,327 @@
+// Package corpusstore persists a measured corpus as a sharded, binary
+// columnar on-disk store, so worlds far beyond what fits in Go maps of
+// Website rows — millions of sites — can be ingested, stored, and scored
+// within a fixed memory budget. It is the scale substrate ROADMAP's epoch
+// engine, webdepd, and federated crawling build on.
+//
+// # Layout
+//
+// A store is a directory: one shard file per country plus a manifest.
+//
+//	<dir>/corpus.manifest   magic "WDEPMAN1" + framed sections
+//	<dir>/<CC>.shard        magic "WDEPSHD1" + framed sections
+//
+// Every file reuses the checkpoint journal's framing discipline (see
+// internal/checkpoint): sections are length-prefixed and CRC32-checksummed,
+//
+//	u32le payload length | u32le CRC32(payload) | payload
+//
+// and the first payload byte is the section type — 'H' (versioned JSON
+// header), 'B' (columnar row block, shards only), 'E' (JSON end marker
+// carrying totals). Files are written temp → fsync → rename, so a store
+// never contains a torn shard: unlike the journal's append-tolerant tail,
+// ANY truncation or checksum failure here is hard corruption and is
+// reported as a *CorruptError naming the byte offset.
+//
+// # Shard blocks
+//
+// Rows are encoded in blocks of BlockRows sites, columnar within each
+// block: low-cardinality string columns (providers, countries, continents,
+// TLDs, languages) are interned into an append-only per-shard symbol table
+// (extending the uint32 interning of internal/dataset's scoring index to
+// disk), ranks and symbols are uvarints, anycast flags are bitsets, and
+// domains/IPs are raw length-prefixed strings. Each block carries the
+// symbols first seen in it, so both writing and reading stream: the writer
+// holds at most one block of rows, the reader at most one decoded block.
+//
+// # Streaming
+//
+// Ingestion (Writer) and scoring (Store.Score) never materialize a corpus:
+// worldgen can emit shards country by country, a checkpoint journal can be
+// converted record by record (IngestJournal), and scoring streams each
+// shard through the same row-level extraction the in-memory scoring index
+// uses, producing bit-identical scores (dataset.CountryTally /
+// dataset.BuildScoreSet).
+package corpusstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+)
+
+// Version is the store format version this package writes and accepts.
+const Version = 1
+
+// ManifestName is the manifest's file name inside a store directory.
+const ManifestName = "corpus.manifest"
+
+var (
+	shardMagic    = []byte("WDEPSHD1")
+	manifestMagic = []byte("WDEPMAN1")
+)
+
+// Section types: every framed payload starts with one of these bytes.
+const (
+	secHeader = 'H'
+	secBlock  = 'B'
+	secEnd    = 'E'
+)
+
+// maxSectionBytes bounds one framed section's payload: large enough for any
+// legitimate block (the default 4096-row blocks encode to a few hundred
+// KB), small enough that a garbage length prefix is rejected before any
+// allocation.
+const maxSectionBytes = 1 << 26
+
+// DefaultBlockRows is the rows-per-block default; one block is the unit of
+// writer buffering and reader decoding.
+const DefaultBlockRows = 4096
+
+// maxBlockRows caps the rows a single block may declare, bounding reader
+// allocation against hostile input.
+const maxBlockRows = 1 << 20
+
+// CorruptError reports a store file that cannot be trusted: bad magic, a
+// truncated or checksum-corrupt section, an undecodable header, or totals
+// that do not match the end marker. Stores are written atomically, so —
+// unlike a checkpoint journal's torn tail — corruption is never expected
+// residue and is always a hard error with the byte offset of the damage.
+type CorruptError struct {
+	Path   string
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("corpusstore: %s: corrupt at byte offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// Options tunes a store writer or reader; nil (or the zero value) is
+// production defaults.
+type Options struct {
+	// Obs selects the metrics registry for the store.* instruments; nil
+	// means obs.Default().
+	Obs *obs.Registry
+	// BlockRows is the writer's rows-per-block; <= 0 means
+	// DefaultBlockRows. Readers take the block size from the data.
+	BlockRows int
+	// Workers bounds per-country concurrency in Load and Score; 0 means
+	// one worker per CPU.
+	Workers int
+}
+
+func (o *Options) orDefault() *Options {
+	if o == nil {
+		return &Options{}
+	}
+	return o
+}
+
+// storeMetrics are the hoisted obs instruments for the store paths.
+type storeMetrics struct {
+	shardsWritten  *obs.Counter
+	rowsWritten    *obs.Counter
+	bytesWritten   *obs.Counter
+	shardWriteMS   *obs.Histogram
+	manifestWrites *obs.Counter
+	shardsStreamed *obs.Counter
+	rowsStreamed   *obs.Counter
+	bytesStreamed  *obs.Counter
+	shardStreamMS  *obs.Histogram
+	scoreMS        *obs.Histogram
+	corruptions    *obs.Counter
+}
+
+func newStoreMetrics(r *obs.Registry) *storeMetrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &storeMetrics{
+		shardsWritten:  r.Counter("store.shards_written"),
+		rowsWritten:    r.Counter("store.rows_written"),
+		bytesWritten:   r.Counter("store.bytes_written"),
+		shardWriteMS:   r.Timing("store.shard_write_ms"),
+		manifestWrites: r.Counter("store.manifest_writes"),
+		shardsStreamed: r.Counter("store.shards_streamed"),
+		rowsStreamed:   r.Counter("store.rows_streamed"),
+		bytesStreamed:  r.Counter("store.bytes_streamed"),
+		shardStreamMS:  r.Timing("store.shard_stream_ms"),
+		scoreMS:        r.Timing("store.score_ms"),
+		corruptions:    r.Counter("store.corruptions"),
+	}
+}
+
+// shardHeader is a shard file's 'H' payload.
+type shardHeader struct {
+	Version   int    `json:"version"`
+	Epoch     string `json:"epoch"`
+	Country   string `json:"country"`
+	BlockRows int    `json:"block_rows"`
+}
+
+// shardEnd is a shard file's 'E' payload: totals cross-checked on read.
+type shardEnd struct {
+	Rows    int64 `json:"rows"`
+	Symbols int64 `json:"symbols"`
+}
+
+// manifestShard is one shard's entry in the manifest.
+type manifestShard struct {
+	Country string `json:"country"`
+	File    string `json:"file"`
+	Rows    int64  `json:"rows"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// manifest is the manifest file's 'H' payload: the store's table of
+// contents, written last so a crashed ingestion never looks complete.
+type manifest struct {
+	Version int             `json:"version"`
+	Epoch   string          `json:"epoch"`
+	Shards  []manifestShard `json:"shards"`
+	// Coverage carries the crawl's measurement-loss accounting when the
+	// stored corpus came from a live crawl; nil otherwise.
+	Coverage map[string]*dataset.Coverage `json:"coverage,omitempty"`
+}
+
+// manifestEnd is the manifest's 'E' payload.
+type manifestEnd struct {
+	Shards int `json:"shards"`
+}
+
+// frame wraps a payload in the length+CRC32 framing as one byte slice.
+func frame(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:], crc32.ChecksumIEEE(payload))
+	copy(out[8:], payload)
+	return out
+}
+
+// sectionReader iterates a store file's framed sections, tracking the byte
+// offset for corruption reports. It reuses one payload buffer: a returned
+// payload is valid only until the next call.
+type sectionReader struct {
+	r    io.Reader
+	path string
+	off  int64
+	hdr  [8]byte
+	buf  []byte
+}
+
+func newSectionReader(r io.Reader, path string, start int64) *sectionReader {
+	return &sectionReader{r: r, path: path, off: start}
+}
+
+// next returns the next section's type, payload, and starting offset.
+// io.EOF marks a clean end of file at a section boundary; every other
+// irregularity is a *CorruptError.
+func (sr *sectionReader) next() (typ byte, payload []byte, off int64, err error) {
+	off = sr.off
+	if _, err := io.ReadFull(sr.r, sr.hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, off, io.EOF
+		}
+		return 0, nil, off, &CorruptError{Path: sr.path, Offset: off, Reason: "truncated section frame"}
+	}
+	length := int64(binary.LittleEndian.Uint32(sr.hdr[:4]))
+	sum := binary.LittleEndian.Uint32(sr.hdr[4:])
+	if length > maxSectionBytes {
+		return 0, nil, off, &CorruptError{Path: sr.path, Offset: off,
+			Reason: fmt.Sprintf("section length %d exceeds maximum %d", length, maxSectionBytes)}
+	}
+	if int64(cap(sr.buf)) < length {
+		sr.buf = make([]byte, length)
+	}
+	sr.buf = sr.buf[:length]
+	if _, err := io.ReadFull(sr.r, sr.buf); err != nil {
+		return 0, nil, off, &CorruptError{Path: sr.path, Offset: off, Reason: "truncated section payload"}
+	}
+	if crc32.ChecksumIEEE(sr.buf) != sum {
+		return 0, nil, off, &CorruptError{Path: sr.path, Offset: off, Reason: "section checksum mismatch"}
+	}
+	if len(sr.buf) == 0 {
+		return 0, nil, off, &CorruptError{Path: sr.path, Offset: off, Reason: "empty section"}
+	}
+	sr.off += 8 + length
+	return sr.buf[0], sr.buf[1:], off, nil
+}
+
+// readMagic consumes and validates a file's 8-byte magic.
+func readMagic(r io.Reader, path string, want []byte) error {
+	var got [8]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return &CorruptError{Path: path, Offset: 0, Reason: "file shorter than magic"}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return &CorruptError{Path: path, Offset: 0, Reason: "bad magic (not a corpus store file)"}
+		}
+	}
+	return nil
+}
+
+// byteReader is a bounds-checked cursor over one section payload; every
+// decode failure is reported by the caller as corruption.
+type byteReader struct {
+	b []byte
+	i int
+}
+
+var errShortPayload = fmt.Errorf("corpusstore: payload exhausted")
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.i:])
+	if n <= 0 {
+		return 0, errShortPayload
+	}
+	r.i += n
+	return v, nil
+}
+
+func (r *byteReader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.b)-r.i < n {
+		return nil, errShortPayload
+	}
+	out := r.b[r.i : r.i+n]
+	r.i += n
+	return out, nil
+}
+
+func (r *byteReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)-r.i) {
+		return "", errShortPayload
+	}
+	b, err := r.take(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *byteReader) remaining() int { return len(r.b) - r.i }
+
+// shardFileName maps a country code to its shard file, refusing codes that
+// could escape the store directory.
+func shardFileName(cc string) (string, error) {
+	if cc == "" {
+		return "", fmt.Errorf("corpusstore: empty country code")
+	}
+	for i := 0; i < len(cc); i++ {
+		c := cc[i]
+		ok := c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9' || c == '-' || c == '_'
+		if !ok {
+			return "", fmt.Errorf("corpusstore: country code %q is not a valid shard name", cc)
+		}
+	}
+	return cc + ".shard", nil
+}

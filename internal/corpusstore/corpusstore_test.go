@@ -1,0 +1,366 @@
+package corpusstore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+)
+
+// testCorpus hand-builds a deterministic corpus with the field variety the
+// format must carry: repeated providers (interning), empty provider fields
+// (failed measurements), anycast flags, and list lengths that do not divide
+// the block size.
+func testCorpus(seed int64, ccs []string, sitesPer int) *dataset.Corpus {
+	rng := rand.New(rand.NewSource(seed))
+	providers := []string{"Cloudflare", "Amazon", "Hetzner", "", "LocalHost-01", "LocalHost-02"}
+	pcountry := map[string]string{
+		"Cloudflare": "US", "Amazon": "US", "Hetzner": "DE",
+		"LocalHost-01": "", "LocalHost-02": "",
+	}
+	cas := []string{"Let's Encrypt", "DigiCert", ""}
+	caCC := map[string]string{"Let's Encrypt": "US", "DigiCert": "US"}
+	continents := []string{"NA", "EU", "AS", ""}
+	tlds := []string{"com", "net", "de", "jp"}
+	langs := []string{"en", "de", "ja", ""}
+
+	c := dataset.NewCorpus("2023-05")
+	for _, cc := range ccs {
+		list := &dataset.CountryList{Country: cc, Epoch: "2023-05"}
+		for i := 0; i < sitesPer; i++ {
+			host := providers[rng.Intn(len(providers))]
+			dns := providers[rng.Intn(len(providers))]
+			ca := cas[rng.Intn(len(cas))]
+			site := dataset.Website{
+				Domain:       fmt.Sprintf("site-%s-%04d.%s", cc, i, tlds[rng.Intn(len(tlds))]),
+				Country:      cc,
+				Rank:         i + 1,
+				HostProvider: host, HostProviderCountry: pcountry[host],
+				HostIP:          fmt.Sprintf("10.%d.%d.%d", rng.Intn(256), rng.Intn(256), rng.Intn(256)),
+				HostIPContinent: continents[rng.Intn(len(continents))],
+				HostAnycast:     rng.Intn(3) == 0,
+				DNSProvider:     dns, DNSProviderCountry: pcountry[dns],
+				NSIP:          fmt.Sprintf("10.%d.%d.%d", rng.Intn(256), rng.Intn(256), rng.Intn(256)),
+				NSIPContinent: continents[rng.Intn(len(continents))],
+				NSAnycast:     rng.Intn(4) == 0,
+				CAOwner:       ca, CAOwnerCountry: caCC[ca],
+				TLD:      tlds[rng.Intn(len(tlds))],
+				Language: langs[rng.Intn(len(langs))],
+			}
+			if rng.Intn(10) == 0 {
+				site.HostIP = "" // unreachable site: nothing measured at all
+				site.HostProvider, site.HostProviderCountry = "", ""
+				site.HostIPContinent, site.HostAnycast = "", false
+			}
+			list.Sites = append(list.Sites, site)
+		}
+		c.Add(list)
+	}
+	return c
+}
+
+func testOpts(blockRows int) *Options {
+	return &Options{Obs: obs.NewRegistry(), BlockRows: blockRows}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, blockRows := range []int{0, 7, 1000} {
+		t.Run(fmt.Sprintf("blockRows=%d", blockRows), func(t *testing.T) {
+			dir := t.TempDir()
+			c := testCorpus(1, []string{"US", "DE", "JP"}, 123)
+			cov := &dataset.Coverage{Country: "US", Sites: 123, Degraded: true,
+				Host: dataset.FieldCoverage{OK: 120, Lost: 3}}
+			c.SetCoverage(cov)
+			if err := Save(dir, c, testOpts(blockRows)); err != nil {
+				t.Fatal(err)
+			}
+
+			st, err := Open(dir, testOpts(blockRows))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Epoch() != "2023-05" {
+				t.Fatalf("epoch %q", st.Epoch())
+			}
+			if got, want := st.Countries(), c.Countries(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("countries %v, want %v", got, want)
+			}
+			if got := st.TotalSites(); got != int64(c.TotalSites()) {
+				t.Fatalf("TotalSites %d, want %d", got, c.TotalSites())
+			}
+			for _, cc := range c.Countries() {
+				list, err := st.ReadList(cc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(list, c.Get(cc)) {
+					t.Fatalf("%s: list does not round-trip", cc)
+				}
+			}
+			if !reflect.DeepEqual(st.Coverage()["US"], cov) {
+				t.Fatalf("coverage does not round-trip: %+v", st.Coverage()["US"])
+			}
+
+			loaded, err := st.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Epoch != c.Epoch || !reflect.DeepEqual(loaded.Lists, c.Lists) {
+				t.Fatal("Load does not round-trip the corpus")
+			}
+			if !reflect.DeepEqual(loaded.CoverageByCountry, c.CoverageByCountry) {
+				t.Fatal("Load does not round-trip coverage")
+			}
+		})
+	}
+}
+
+// TestStreamedScoresMatchInMemory is the scoring-fidelity invariant: the
+// store's streamed ScoreSet must be bit-identical to the in-memory corpus's
+// scoring surface on every metric the analyses read.
+func TestStreamedScoresMatchInMemory(t *testing.T) {
+	dir := t.TempDir()
+	c := testCorpus(2, []string{"US", "DE", "JP", "TH"}, 217)
+	if err := Save(dir, c, testOpts(11)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, testOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := st.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := c.ScoreSet()
+
+	if !reflect.DeepEqual(streamed.Countries(), mem.Countries()) {
+		t.Fatal("country sets differ")
+	}
+	for _, layer := range countries.Layers {
+		if !reflect.DeepEqual(streamed.Scores(layer), mem.Scores(layer)) {
+			t.Errorf("%v: scores differ", layer)
+		}
+		if !reflect.DeepEqual(streamed.Insularities(layer), mem.Insularities(layer)) {
+			t.Errorf("%v: insularities differ", layer)
+		}
+		if g, w := streamed.GlobalDistribution(layer).Score(), mem.GlobalDistribution(layer).Score(); g != w {
+			t.Errorf("%v: global score %v, want %v", layer, g, w)
+		}
+		if !reflect.DeepEqual(streamed.UsageMatrix(layer), mem.UsageMatrix(layer)) {
+			t.Errorf("%v: usage matrices differ", layer)
+		}
+		if !reflect.DeepEqual(streamed.UsageCurves(layer), mem.UsageCurves(layer)) {
+			t.Errorf("%v: usage curves differ", layer)
+		}
+		for _, cc := range mem.Countries() {
+			if g, w := streamed.DistributionOf(cc, layer).Score(), mem.DistributionOf(cc, layer).Score(); g != w {
+				t.Errorf("%v %s: distribution score %v, want %v", layer, cc, g, w)
+			}
+		}
+	}
+}
+
+func TestStreamShardMatchesReadList(t *testing.T) {
+	dir := t.TempDir()
+	c := testCorpus(3, []string{"US"}, 50)
+	if err := Save(dir, c, testOpts(8)); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamed []dataset.Website
+	err = st.StreamShard("US", func(w *dataset.Website) error {
+		streamed = append(streamed, *w) // the callback row is reused; copy
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := st.ReadList("US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, list.Sites) {
+		t.Fatal("StreamShard and ReadList disagree")
+	}
+	if st.Rows("US") != int64(len(streamed)) {
+		t.Fatalf("Rows(US) = %d, streamed %d", st.Rows("US"), len(streamed))
+	}
+	if st.Rows("ZZ") != -1 {
+		t.Fatal("Rows of an absent country should be -1")
+	}
+	if err := st.StreamShard("ZZ", func(*dataset.Website) error { return nil }); err == nil {
+		t.Fatal("streaming an absent country should fail")
+	}
+}
+
+// TestSaveDeterministic pins the byte-identical invariant: saving the same
+// corpus twice produces identical shard and manifest files.
+func TestSaveDeterministic(t *testing.T) {
+	c := testCorpus(4, []string{"US", "DE"}, 64)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := Save(dirA, c, testOpts(16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(dirB, c, testOpts(16)); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{ManifestName, "US.shard", "DE.shard"} {
+		a, err := os.ReadFile(filepath.Join(dirA, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dirB, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two saves of the same corpus differ", name)
+		}
+	}
+}
+
+// TestWriterInterleavedAppend exercises the journal-ingest path: rows of
+// different countries arriving interleaved through Writer.Append.
+func TestWriterInterleavedAppend(t *testing.T) {
+	dir := t.TempDir()
+	c := testCorpus(5, []string{"US", "DE"}, 30)
+	w, err := Create(dir, c.Epoch, testOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	us, de := c.Get("US").Sites, c.Get("DE").Sites
+	for i := 0; i < len(us); i++ {
+		if err := w.Append(&us[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(&de[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range []string{"US", "DE"} {
+		list, err := st.ReadList(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(list.Sites, c.Get(cc).Sites) {
+			t.Fatalf("%s: interleaved append does not round-trip", cc)
+		}
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, "2023-05", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(filepath.Join(dir, "inner\x00bad"), "2023-05", nil); err == nil {
+		t.Error("expected invalid dir to fail eventually") // os-level error
+	}
+	sw, err := w.Shard("US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Shard("US"); err == nil {
+		t.Error("reopening an open shard should fail")
+	}
+	if _, err := w.Shard("../evil"); err == nil {
+		t.Error("path-escaping country code should fail")
+	}
+	if err := sw.Append(&dataset.Website{Domain: "a.com", Country: "DE", Rank: 1}); err == nil {
+		t.Error("wrong-country row should fail")
+	}
+	// The shard latched the error; it never reaches the manifest.
+	if err := sw.Close(); err == nil {
+		t.Error("closing a failed shard should return the latched error")
+	}
+	sw2, err := w.Shard("DE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw2.Append(&dataset.Website{Country: "DE", Rank: 1}); err == nil {
+		t.Error("empty-domain row should fail")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, "2023-05", nil); err == nil {
+		t.Error("Create over an existing store should refuse")
+	}
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Countries()) != 0 {
+		t.Fatalf("failed shards must not reach the manifest; got %v", st.Countries())
+	}
+}
+
+func TestOpenMissingManifest(t *testing.T) {
+	if _, err := Open(t.TempDir(), nil); err == nil {
+		t.Fatal("opening a directory without a manifest should fail")
+	}
+}
+
+func TestDuplicateTallyRejected(t *testing.T) {
+	tallies := []*dataset.CountryTally{
+		dataset.NewCountryTally("US"),
+		dataset.NewCountryTally("US"),
+	}
+	if _, err := dataset.BuildScoreSet(tallies); err == nil {
+		t.Fatal("duplicate country tallies should be rejected")
+	}
+}
+
+// TestStoreMetrics spot-checks the store.* instruments fire on both paths.
+func TestStoreMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	dir := t.TempDir()
+	c := testCorpus(6, []string{"US"}, 20)
+	if err := Save(dir, c, &Options{Obs: reg}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("store.shards_written").Value(); got != 1 {
+		t.Errorf("shards_written = %d", got)
+	}
+	if got := reg.Counter("store.rows_written").Value(); got != 20 {
+		t.Errorf("rows_written = %d", got)
+	}
+	if got := reg.Counter("store.manifest_writes").Value(); got != 1 {
+		t.Errorf("manifest_writes = %d", got)
+	}
+	st, err := Open(dir, &Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Score(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("store.shards_streamed").Value(); got != 1 {
+		t.Errorf("shards_streamed = %d", got)
+	}
+	if got := reg.Counter("store.rows_streamed").Value(); got != 20 {
+		t.Errorf("rows_streamed = %d", got)
+	}
+	if got := reg.Counter("store.bytes_streamed").Value(); got <= 0 {
+		t.Errorf("bytes_streamed = %d", got)
+	}
+}

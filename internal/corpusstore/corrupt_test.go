@@ -1,0 +1,261 @@
+package corpusstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+)
+
+// writeTestStore saves a small corpus and returns its directory and the
+// shard path for the single country.
+func writeTestStore(t *testing.T) (dir, shardPath string) {
+	t.Helper()
+	dir = t.TempDir()
+	c := testCorpus(10, []string{"US"}, 40)
+	if err := Save(dir, c, testOpts(8)); err != nil {
+		t.Fatal(err)
+	}
+	return dir, filepath.Join(dir, "US.shard")
+}
+
+func streamAll(dir string) error {
+	st, err := Open(dir, &Options{Obs: obs.NewRegistry()})
+	if err != nil {
+		return err
+	}
+	for _, cc := range st.Countries() {
+		if err := st.StreamShard(cc, func(*dataset.Website) error { return nil }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func wantCorrupt(t *testing.T, err error, offsetAtLeast int64, reasonFragment string) {
+	t.Helper()
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if ce.Offset < offsetAtLeast {
+		t.Errorf("corruption offset %d, want >= %d", ce.Offset, offsetAtLeast)
+	}
+	if reasonFragment != "" && !strings.Contains(ce.Reason, reasonFragment) {
+		t.Errorf("reason %q does not mention %q", ce.Reason, reasonFragment)
+	}
+}
+
+// TestTruncatedShard covers torn tails at every interesting boundary: a
+// store shard is written atomically, so ANY truncation is hard corruption
+// (unlike the checkpoint journal's tolerated torn tail).
+func TestTruncatedShard(t *testing.T) {
+	dir, shard := writeTestStore(t)
+	whole, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{len(whole) - 1, len(whole) - 9, len(whole) / 2, 10, 4} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			if err := os.WriteFile(shard, whole[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := streamAll(dir)
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("truncation at %d not detected: %v", cut, err)
+			}
+		})
+	}
+	if err := os.WriteFile(shard, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := streamAll(dir); err != nil {
+		t.Fatalf("restored shard should stream clean: %v", err)
+	}
+}
+
+// TestCorruptShardMidFile flips one byte in the middle of the shard and
+// checks the checksum failure is reported with a byte offset inside the
+// file, not just "corrupt".
+func TestCorruptShardMidFile(t *testing.T) {
+	dir, shard := writeTestStore(t)
+	whole, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), whole...)
+	mut[len(mut)/2] ^= 0xFF
+	if err := os.WriteFile(shard, mut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = streamAll(dir)
+	wantCorrupt(t, err, int64(len(shardMagic)), "")
+	var ce *CorruptError
+	errors.As(err, &ce)
+	if ce.Offset >= int64(len(whole)) {
+		t.Errorf("offset %d outside file of %d bytes", ce.Offset, len(whole))
+	}
+	if ce.Path != shard {
+		t.Errorf("corruption names %q, want %q", ce.Path, shard)
+	}
+}
+
+func TestCorruptTrailingGarbage(t *testing.T) {
+	dir, shard := writeTestStore(t)
+	f, err := os.OpenFile(shard, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("garbage after end marker")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	wantCorrupt(t, streamAll(dir), 0, "")
+}
+
+func TestBadMagic(t *testing.T) {
+	dir, shard := writeTestStore(t)
+	whole, _ := os.ReadFile(shard)
+	copy(whole, "NOTASHRD")
+	if err := os.WriteFile(shard, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantCorrupt(t, streamAll(dir), 0, "bad magic")
+}
+
+// rewriteShardHeader re-frames a shard with a mutated header, keeping CRCs
+// valid so only the semantic check can reject it.
+func rewriteShardHeader(t *testing.T, shard string, mutate func(*shardHeader)) {
+	t.Helper()
+	whole, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := binary.LittleEndian.Uint32(whole[8:12])
+	payload := whole[16 : 16+hdrLen]
+	if payload[0] != secHeader {
+		t.Fatalf("expected header section, found %q", payload[0])
+	}
+	var hdr shardHeader
+	if err := json.Unmarshal(payload[1:], &hdr); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&hdr)
+	buf, err := json.Marshal(hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := append([]byte(nil), whole[:8]...)
+	out = append(out, frame(append([]byte{secHeader}, buf...))...)
+	out = append(out, whole[16+hdrLen:]...)
+	if err := os.WriteFile(shard, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForeignShardRefused pins the refusal semantics: a shard from another
+// format version, another epoch, or another country — CRC-clean, so only
+// the header cross-check can catch it — must not stream.
+func TestForeignShardRefused(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*shardHeader)
+		reason string
+	}{
+		{"version", func(h *shardHeader) { h.Version = 2 }, "version 2"},
+		{"epoch", func(h *shardHeader) { h.Epoch = "2031-01" }, "epoch"},
+		{"country", func(h *shardHeader) { h.Country = "DE" }, "country"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir, shard := writeTestStore(t)
+			rewriteShardHeader(t, shard, tc.mutate)
+			wantCorrupt(t, streamAll(dir), int64(len(shardMagic)), tc.reason)
+		})
+	}
+}
+
+func TestManifestVersionRefused(t *testing.T) {
+	dir, _ := writeTestStore(t)
+	path := filepath.Join(dir, ManifestName)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := binary.LittleEndian.Uint32(whole[8:12])
+	var man manifest
+	if err := json.Unmarshal(whole[17:16+hdrLen], &man); err != nil {
+		t.Fatal(err)
+	}
+	man.Version = 2
+	buf, _ := json.Marshal(man)
+	out := append([]byte(nil), whole[:8]...)
+	out = append(out, frame(append([]byte{secHeader}, buf...))...)
+	out = append(out, whole[16+hdrLen:]...)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir, nil)
+	if err == nil || !strings.Contains(err.Error(), "version 2") {
+		t.Fatalf("foreign manifest version not refused: %v", err)
+	}
+}
+
+// TestEndMarkerMismatch rewrites the shard's end marker with wrong totals;
+// the decoded counts must win and flag the inconsistency.
+func TestEndMarkerMismatch(t *testing.T) {
+	dir, shard := writeTestStore(t)
+	whole, err := os.ReadFile(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk to the last section ('E') and re-frame it with inflated totals.
+	off := len(shardMagic)
+	lastOff := -1
+	for off < len(whole) {
+		length := int(binary.LittleEndian.Uint32(whole[off:]))
+		if whole[off+8] == secEnd {
+			lastOff = off
+		}
+		off += 8 + length
+	}
+	if lastOff < 0 {
+		t.Fatal("no end marker found")
+	}
+	buf, _ := json.Marshal(shardEnd{Rows: 9999, Symbols: 1})
+	out := append([]byte(nil), whole[:lastOff]...)
+	out = append(out, frame(append([]byte{secEnd}, buf...))...)
+	if err := os.WriteFile(shard, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantCorrupt(t, streamAll(dir), int64(lastOff), "end marker declares")
+}
+
+// TestCorruptionCounted checks detection feeds the store.corruptions
+// instrument.
+func TestCorruptionCounted(t *testing.T) {
+	dir, shard := writeTestStore(t)
+	whole, _ := os.ReadFile(shard)
+	if err := os.WriteFile(shard, whole[:len(whole)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	st, err := Open(dir, &Options{Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.StreamShard("US", func(*dataset.Website) error { return nil }); err == nil {
+		t.Fatal("corrupt shard streamed clean")
+	}
+	if got := reg.Counter("store.corruptions").Value(); got != 1 {
+		t.Errorf("store.corruptions = %d, want 1", got)
+	}
+}

@@ -1,0 +1,55 @@
+package corpusstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/webdep/webdep/internal/dataset"
+)
+
+// FuzzShardDecode drives the shard section decoder over arbitrary bytes.
+// The decoder must never panic, never report success on anything but a
+// well-formed shard, and classify every failure as a *CorruptError — the
+// same guarantee operators get for bit rot on real shards.
+func FuzzShardDecode(f *testing.F) {
+	// Seed with a genuine shard so the fuzzer starts from valid structure.
+	dir := f.TempDir()
+	c := testCorpus(3, []string{"US"}, 25)
+	if err := Save(dir, c, testOpts(6)); err != nil {
+		f.Fatal(err)
+	}
+	shard, err := os.ReadFile(filepath.Join(dir, "US.shard"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(shard)
+	f.Add([]byte("WDEPSHD1"))
+	f.Add(shard[:len(shard)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var n int64
+		rows, consumed, err := decodeShard(bytes.NewReader(data), "fuzz", nil, func(w *dataset.Website) error {
+			if w.Domain == "" {
+				t.Fatal("decoder delivered a row with empty domain")
+			}
+			n++
+			return nil
+		})
+		if err == nil {
+			if rows != n {
+				t.Fatalf("decoder reported %d rows, delivered %d", rows, n)
+			}
+			if consumed != int64(len(data)) {
+				t.Fatalf("decoder accepted %d of %d bytes without error", consumed, len(data))
+			}
+			return
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("decode failure is not a *CorruptError: %v", err)
+		}
+	})
+}

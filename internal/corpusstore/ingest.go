@@ -1,0 +1,75 @@
+package corpusstore
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"github.com/webdep/webdep/internal/checkpoint"
+	"github.com/webdep/webdep/internal/dataset"
+)
+
+// IngestJournal converts a checkpoint journal into a corpus store at dir,
+// streaming record by record — neither the journal nor the corpus is ever
+// resident. The store's epoch comes from the journal header; a journal
+// with no durable header (empty, or torn inside the header) has recorded
+// nothing and is an error. Rows whose outcome carries measurement loss are
+// stored as-is, exactly as a resumed crawl's corpus includes them.
+//
+// A journal holding two records for one (country, domain) — the residue of
+// an un-compacted resume, where the newest record supersedes the older —
+// cannot be converted by a record-ordered stream, so ingestion refuses it
+// and points the operator at Resume + Compact. Duplicate detection uses a
+// 64-bit key hash: it never misses a real duplicate, and a false positive
+// (~1e-8 at a million sites) costs only an unnecessary compaction.
+func IngestJournal(dir, journalPath string, opts *Options) (*checkpoint.JournalInfo, error) {
+	var w *Writer
+	seen := make(map[uint64]struct{})
+	abort := func() {
+		if w != nil {
+			for _, sw := range w.openShards() {
+				sw.abort()
+			}
+		}
+	}
+	info, err := checkpoint.StreamSites(journalPath,
+		func(info checkpoint.JournalInfo) error {
+			var err error
+			w, err = Create(dir, info.Epoch, opts)
+			return err
+		},
+		func(country string, site dataset.Website, _ dataset.SiteOutcome) error {
+			h := fnv.New64a()
+			h.Write([]byte(country))
+			h.Write([]byte{0})
+			h.Write([]byte(site.Domain))
+			k := h.Sum64()
+			if _, dup := seen[k]; dup {
+				return fmt.Errorf("corpusstore: journal %s holds more than one record for %s/%s; Resume and Compact it first",
+					journalPath, country, site.Domain)
+			}
+			seen[k] = struct{}{}
+			return w.Append(&site)
+		})
+	if err != nil {
+		abort()
+		return nil, err
+	}
+	if w == nil {
+		return nil, fmt.Errorf("corpusstore: journal %s has no durable header; nothing to ingest", journalPath)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// openShards snapshots the writer's open shard writers, for abort paths.
+func (w *Writer) openShards() []*ShardWriter {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]*ShardWriter, 0, len(w.open))
+	for _, sw := range w.open {
+		out = append(out, sw)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package corpusstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/webdep/webdep/internal/checkpoint"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+)
+
+func journalOpts() *checkpoint.Options {
+	return &checkpoint.Options{Obs: obs.NewRegistry()}
+}
+
+// writeTestJournal journals the corpus country by country and returns the
+// journal path plus the per-country appended rows (in append order — the
+// order ingestion must preserve).
+func writeTestJournal(t *testing.T, c *dataset.Corpus) (string, map[string][]dataset.Website) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "crawl.journal")
+	ccs := c.Countries()
+	j, err := checkpoint.Create(path, c.Epoch, ccs, journalOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string][]dataset.Website)
+	for _, cc := range ccs {
+		for _, site := range c.Get(cc).Sites {
+			j.Append(cc, site, dataset.SiteOutcome{})
+			rows[cc] = append(rows[cc], site)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, rows
+}
+
+func TestIngestJournalRoundTrip(t *testing.T) {
+	c := testCorpus(21, []string{"DE", "JP", "US"}, 30)
+	path, rows := writeTestJournal(t, c)
+
+	dir := filepath.Join(t.TempDir(), "store")
+	info, err := IngestJournal(dir, path, testOpts(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != c.Epoch || info.Truncated || info.Sites != 90 {
+		t.Fatalf("journal info = %+v", info)
+	}
+
+	st, err := Open(dir, testOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != c.Epoch {
+		t.Fatalf("store epoch %q, journal epoch %q", st.Epoch(), c.Epoch)
+	}
+	for cc, want := range rows {
+		list, err := st.ReadList(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(list.Sites, want) {
+			t.Fatalf("country %s: ingested rows differ from journaled rows", cc)
+		}
+	}
+}
+
+// TestIngestTornJournal tears the final record off a journal — the residue
+// ingestion must tolerate, exactly as Resume does — and checks the store
+// holds every durable record.
+func TestIngestTornJournal(t *testing.T) {
+	c := testCorpus(22, []string{"US"}, 25)
+	path, rows := writeTestJournal(t, c)
+	whole, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, whole[:len(whole)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "store")
+	info, err := IngestJournal(dir, path, testOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Truncated || info.Sites != 24 {
+		t.Fatalf("journal info = %+v, want truncated with 24 sites", info)
+	}
+	st, err := Open(dir, testOpts(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := st.ReadList("US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(list.Sites, rows["US"][:24]) {
+		t.Fatal("ingested rows differ from the journal's durable prefix")
+	}
+}
+
+// TestIngestDuplicateRefused pins the un-compacted-journal refusal: a
+// journal where a resume superseded an earlier record cannot be converted
+// by a record-ordered stream.
+func TestIngestDuplicateRefused(t *testing.T) {
+	c := testCorpus(23, []string{"US"}, 10)
+	path := filepath.Join(t.TempDir(), "crawl.journal")
+	j, err := checkpoint.Create(path, c.Epoch, []string{"US"}, journalOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, site := range c.Get("US").Sites {
+		j.Append("US", site, dataset.SiteOutcome{})
+	}
+	dup := c.Get("US").Sites[3]
+	dup.HostProvider = "someone-else"
+	j.Append("US", dup, dataset.SiteOutcome{})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "store")
+	_, err = IngestJournal(dir, path, testOpts(0))
+	if err == nil || !strings.Contains(err.Error(), "Compact") {
+		t.Fatalf("duplicate record not refused: %v", err)
+	}
+	// The aborted ingest must not leave a store behind.
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); !os.IsNotExist(err) {
+		t.Fatalf("aborted ingest left a manifest: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "US.shard")); !os.IsNotExist(err) {
+		t.Fatal("aborted ingest left a shard")
+	}
+}
+
+func TestIngestHeaderlessJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crawl.journal")
+	if err := os.WriteFile(path, []byte("WDEPC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := IngestJournal(filepath.Join(t.TempDir(), "store"), path, testOpts(0))
+	if err == nil || !strings.Contains(err.Error(), "no durable header") {
+		t.Fatalf("headerless journal not refused: %v", err)
+	}
+}

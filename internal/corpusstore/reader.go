@@ -1,0 +1,490 @@
+package corpusstore
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+	"github.com/webdep/webdep/internal/parallel"
+)
+
+// Store is an opened on-disk corpus: the manifest is resident, the shards
+// are not. Reading is streamed — StreamShard and Score hold at most one
+// decoded block per concurrently-read shard — and a Store is safe for
+// concurrent use (every method opens its own file handles).
+type Store struct {
+	dir     string
+	man     manifest
+	byCC    map[string]manifestShard
+	workers int
+	m       *storeMetrics
+}
+
+// Open reads and validates a store's manifest. It refuses manifests written
+// by a different format version and reports any framing damage as a
+// *CorruptError with the byte offset.
+func Open(dir string, opts *Options) (*Store, error) {
+	opts = opts.orDefault()
+	s := &Store{dir: dir, workers: opts.Workers, m: newStoreMetrics(opts.Obs)}
+	path := filepath.Join(dir, ManifestName)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpusstore: %s is not a store (no manifest): %w", dir, err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if err := readMagic(br, path, manifestMagic); err != nil {
+		return nil, s.noteCorrupt(err)
+	}
+	sr := newSectionReader(br, path, int64(len(manifestMagic)))
+
+	typ, payload, off, err := sr.next()
+	if err != nil {
+		if err == io.EOF {
+			err = &CorruptError{Path: path, Offset: off, Reason: "missing manifest header"}
+		}
+		return nil, s.noteCorrupt(err)
+	}
+	if typ != secHeader {
+		return nil, s.noteCorrupt(&CorruptError{Path: path, Offset: off,
+			Reason: fmt.Sprintf("expected header section, found %q", typ)})
+	}
+	if err := json.Unmarshal(payload, &s.man); err != nil {
+		return nil, s.noteCorrupt(&CorruptError{Path: path, Offset: off, Reason: "undecodable manifest header"})
+	}
+	if s.man.Version != Version {
+		return nil, fmt.Errorf("corpusstore: %s holds store version %d; this build reads version %d",
+			dir, s.man.Version, Version)
+	}
+	if s.man.Epoch == "" {
+		return nil, s.noteCorrupt(&CorruptError{Path: path, Offset: off, Reason: "manifest has empty epoch"})
+	}
+	s.byCC = make(map[string]manifestShard, len(s.man.Shards))
+	for _, ms := range s.man.Shards {
+		if _, dup := s.byCC[ms.Country]; dup {
+			return nil, s.noteCorrupt(&CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("duplicate shard entry for country %s", ms.Country)})
+		}
+		want, err := shardFileName(ms.Country)
+		if err != nil || ms.File != want {
+			return nil, s.noteCorrupt(&CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("shard entry %s names file %q", ms.Country, ms.File)})
+		}
+		s.byCC[ms.Country] = ms
+	}
+
+	typ, payload, off, err = sr.next()
+	if err != nil {
+		if err == io.EOF {
+			err = &CorruptError{Path: path, Offset: off, Reason: "missing manifest end marker"}
+		}
+		return nil, s.noteCorrupt(err)
+	}
+	var end manifestEnd
+	if typ != secEnd || json.Unmarshal(payload, &end) != nil {
+		return nil, s.noteCorrupt(&CorruptError{Path: path, Offset: off, Reason: "undecodable manifest end marker"})
+	}
+	if end.Shards != len(s.man.Shards) {
+		return nil, s.noteCorrupt(&CorruptError{Path: path, Offset: off,
+			Reason: fmt.Sprintf("end marker declares %d shards, manifest lists %d", end.Shards, len(s.man.Shards))})
+	}
+	if _, _, off, err = sr.next(); err != io.EOF {
+		if err == nil {
+			err = &CorruptError{Path: path, Offset: off, Reason: "data after manifest end marker"}
+		}
+		return nil, s.noteCorrupt(err)
+	}
+	return s, nil
+}
+
+// noteCorrupt counts corruption detections before handing the error back.
+func (s *Store) noteCorrupt(err error) error {
+	if _, ok := err.(*CorruptError); ok {
+		s.m.corruptions.Inc()
+	}
+	return err
+}
+
+// Epoch returns the measurement epoch the store holds.
+func (s *Store) Epoch() string { return s.man.Epoch }
+
+// Countries returns the stored country codes in sorted order.
+func (s *Store) Countries() []string {
+	out := make([]string, 0, len(s.byCC))
+	for cc := range s.byCC {
+		out = append(out, cc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows returns the row count the manifest records for a country, or -1 when
+// the country is not in the store.
+func (s *Store) Rows(cc string) int64 {
+	ms, ok := s.byCC[cc]
+	if !ok {
+		return -1
+	}
+	return ms.Rows
+}
+
+// TotalSites returns the row count across all shards, from the manifest.
+func (s *Store) TotalSites() int64 {
+	var n int64
+	for _, ms := range s.man.Shards {
+		n += ms.Rows
+	}
+	return n
+}
+
+// Coverage returns the stored crawl-coverage accounting, or nil when the
+// corpus was stored without one (synthetic worlds).
+func (s *Store) Coverage() map[string]*dataset.Coverage { return s.man.Coverage }
+
+// StreamShard decodes one country's shard row by row. The *dataset.Website
+// passed to fn is reused across calls — fn must copy the value to retain
+// it. The shard's header is cross-checked against the manifest (version,
+// epoch, country), its end-marker totals against the rows actually decoded,
+// and any mismatch, truncation, or checksum failure is a *CorruptError.
+func (s *Store) StreamShard(cc string, fn func(*dataset.Website) error) error {
+	ms, ok := s.byCC[cc]
+	if !ok {
+		return fmt.Errorf("corpusstore: store has no shard for country %s", cc)
+	}
+	sp := obs.StartSpan(s.m.shardStreamMS)
+	path := filepath.Join(s.dir, ms.File)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	want := shardHeader{Version: Version, Epoch: s.man.Epoch, Country: cc}
+	rows, bytes, err := decodeShard(bufio.NewReaderSize(f, 1<<16), path, &want, fn)
+	if err != nil {
+		return s.noteCorrupt(err)
+	}
+	if rows != ms.Rows {
+		return s.noteCorrupt(&CorruptError{Path: path, Offset: bytes,
+			Reason: fmt.Sprintf("shard holds %d rows, manifest records %d", rows, ms.Rows)})
+	}
+	sp.End()
+	s.m.shardsStreamed.Inc()
+	s.m.rowsStreamed.Add(rows)
+	s.m.bytesStreamed.Add(bytes)
+	return nil
+}
+
+// ReadList materializes one country's shard as a CountryList, rows in
+// stored (rank) order.
+func (s *Store) ReadList(cc string) (*dataset.CountryList, error) {
+	list := &dataset.CountryList{Country: cc, Epoch: s.man.Epoch}
+	if n := s.Rows(cc); n > 0 {
+		list.Sites = make([]dataset.Website, 0, n)
+	}
+	err := s.StreamShard(cc, func(w *dataset.Website) error {
+		list.Sites = append(list.Sites, *w)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+// Load materializes the whole store as an in-memory Corpus (countries read
+// concurrently), including the stored coverage accounting. For stores too
+// large to materialize, use Score or StreamShard instead.
+func (s *Store) Load() (*dataset.Corpus, error) {
+	ccs := s.Countries()
+	lists, err := parallel.Map(context.Background(), s.workers, len(ccs),
+		func(_ context.Context, i int) (*dataset.CountryList, error) {
+			return s.ReadList(ccs[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	c := dataset.NewCorpus(s.man.Epoch)
+	c.Workers = s.workers
+	for _, l := range lists {
+		c.Add(l)
+	}
+	for _, cov := range s.man.Coverage {
+		c.SetCoverage(cov)
+	}
+	return c, nil
+}
+
+// Score streams every shard through the row-level scoring extraction and
+// merges the per-country tallies into a ScoreSet — the same frozen surface
+// an in-memory Corpus exposes, with bit-identical numbers, while holding
+// only one decoded block per concurrent shard plus the tallies themselves.
+func (s *Store) Score() (*dataset.ScoreSet, error) {
+	sp := obs.StartSpan(s.m.scoreMS)
+	ccs := s.Countries()
+	tallies, err := parallel.Map(context.Background(), s.workers, len(ccs),
+		func(_ context.Context, i int) (*dataset.CountryTally, error) {
+			t := dataset.NewCountryTally(ccs[i])
+			if err := s.StreamShard(ccs[i], func(w *dataset.Website) error {
+				t.Observe(w)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			return t, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	ss, err := dataset.BuildScoreSet(tallies)
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	return ss, nil
+}
+
+// decodeShard drives one shard stream: magic, header (validated against
+// want when non-nil), row blocks through fn, end marker, clean EOF. It
+// returns the decoded row count and the byte length consumed. Every
+// deviation from the format is a *CorruptError carrying the offset of the
+// failing section; the decoder never panics and never allocates more than
+// a constant factor of the (already CRC-validated) section it is decoding,
+// which is what makes it safe to point at arbitrary bytes (FuzzShardDecode).
+func decodeShard(r io.Reader, path string, want *shardHeader, fn func(*dataset.Website) error) (rows, bytes int64, err error) {
+	if err := readMagic(r, path, shardMagic); err != nil {
+		return 0, 0, err
+	}
+	sr := newSectionReader(r, path, int64(len(shardMagic)))
+
+	typ, payload, off, err := sr.next()
+	if err != nil {
+		if err == io.EOF {
+			err = &CorruptError{Path: path, Offset: off, Reason: "missing shard header"}
+		}
+		return 0, sr.off, err
+	}
+	var hdr shardHeader
+	if typ != secHeader || json.Unmarshal(payload, &hdr) != nil {
+		return 0, sr.off, &CorruptError{Path: path, Offset: off, Reason: "undecodable shard header"}
+	}
+	if hdr.Version != Version {
+		return 0, sr.off, &CorruptError{Path: path, Offset: off,
+			Reason: fmt.Sprintf("shard version %d; this build reads version %d", hdr.Version, Version)}
+	}
+	if want != nil {
+		if hdr.Epoch != want.Epoch {
+			return 0, sr.off, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("shard holds epoch %q, store is epoch %q", hdr.Epoch, want.Epoch)}
+		}
+		if hdr.Country != want.Country {
+			return 0, sr.off, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("shard holds country %q, expected %q", hdr.Country, want.Country)}
+		}
+	}
+
+	dec := shardBlockDecoder{country: hdr.Country}
+	for {
+		typ, payload, off, err = sr.next()
+		if err != nil {
+			if err == io.EOF {
+				err = &CorruptError{Path: path, Offset: off, Reason: "missing shard end marker"}
+			}
+			return rows, sr.off, err
+		}
+		if typ == secEnd {
+			break
+		}
+		if typ != secBlock {
+			return rows, sr.off, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("unexpected section type %q", typ)}
+		}
+		n, err := dec.block(payload, fn)
+		if err != nil {
+			if _, ok := err.(*CorruptError); !ok {
+				err = &CorruptError{Path: path, Offset: off, Reason: err.Error()}
+			}
+			return rows, sr.off, err
+		}
+		rows += n
+	}
+
+	var end shardEnd
+	if json.Unmarshal(payload, &end) != nil {
+		return rows, sr.off, &CorruptError{Path: path, Offset: off, Reason: "undecodable shard end marker"}
+	}
+	if end.Rows != rows {
+		return rows, sr.off, &CorruptError{Path: path, Offset: off,
+			Reason: fmt.Sprintf("end marker declares %d rows, shard decoded %d", end.Rows, rows)}
+	}
+	if end.Symbols != int64(len(dec.syms)) {
+		return rows, sr.off, &CorruptError{Path: path, Offset: off,
+			Reason: fmt.Sprintf("end marker declares %d symbols, shard decoded %d", end.Symbols, len(dec.syms))}
+	}
+	if _, _, off, err = sr.next(); err != io.EOF {
+		if err == nil {
+			err = &CorruptError{Path: path, Offset: off, Reason: "data after shard end marker"}
+		}
+		return rows, sr.off, err
+	}
+	return rows, sr.off, nil
+}
+
+// shardBlockDecoder decodes 'B' sections, carrying the append-only symbol
+// table and a reused row buffer across the shard's blocks. Memory is one
+// decoded block plus the symbol table — never the shard.
+type shardBlockDecoder struct {
+	country string
+	syms    []string
+	rows    []dataset.Website
+}
+
+// block decodes one columnar block and hands each row to fn. Row structs
+// are reused across blocks; fn must copy to retain. Errors that are not
+// already *CorruptError are format violations the caller wraps with the
+// block's offset.
+func (d *shardBlockDecoder) block(payload []byte, fn func(*dataset.Website) error) (int64, error) {
+	br := &byteReader{b: payload}
+
+	nSyms, err := br.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// Each new symbol costs at least one payload byte (its length prefix),
+	// so a count beyond the payload is garbage, not a big table.
+	if nSyms > uint64(br.remaining()) {
+		return 0, fmt.Errorf("block declares %d new symbols in a %d-byte payload", nSyms, len(payload))
+	}
+	for i := uint64(0); i < nSyms; i++ {
+		s, err := br.str()
+		if err != nil {
+			return 0, err
+		}
+		d.syms = append(d.syms, s)
+	}
+
+	nRows, err := br.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if nRows == 0 {
+		return 0, fmt.Errorf("block declares zero rows")
+	}
+	if nRows > maxBlockRows {
+		return 0, fmt.Errorf("block declares %d rows, maximum is %d", nRows, maxBlockRows)
+	}
+	// The rank column spends at least one byte per row, bounding the row
+	// buffer by the payload size before anything is allocated.
+	if nRows > uint64(br.remaining()) {
+		return 0, fmt.Errorf("block declares %d rows in a %d-byte payload", nRows, len(payload))
+	}
+	n := int(nRows)
+	d.rows = d.rows[:0]
+	for i := 0; i < n; i++ {
+		rank, err := br.uvarint()
+		if err != nil {
+			return 0, err
+		}
+		d.rows = append(d.rows, dataset.Website{Country: d.country, Rank: int(rank)})
+	}
+	if err := d.strCol(br, func(w *dataset.Website, s string) { w.Domain = s }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.HostProvider = s }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.HostProviderCountry = s }); err != nil {
+		return 0, err
+	}
+	if err := d.strCol(br, func(w *dataset.Website, s string) { w.HostIP = s }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.HostIPContinent = s }); err != nil {
+		return 0, err
+	}
+	if err := d.boolCol(br, func(w *dataset.Website, v bool) { w.HostAnycast = v }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.DNSProvider = s }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.DNSProviderCountry = s }); err != nil {
+		return 0, err
+	}
+	if err := d.strCol(br, func(w *dataset.Website, s string) { w.NSIP = s }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.NSIPContinent = s }); err != nil {
+		return 0, err
+	}
+	if err := d.boolCol(br, func(w *dataset.Website, v bool) { w.NSAnycast = v }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.CAOwner = s }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.CAOwnerCountry = s }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.TLD = s }); err != nil {
+		return 0, err
+	}
+	if err := d.symCol(br, func(w *dataset.Website, s string) { w.Language = s }); err != nil {
+		return 0, err
+	}
+	if br.remaining() != 0 {
+		return 0, fmt.Errorf("block has %d trailing bytes", br.remaining())
+	}
+
+	for i := range d.rows {
+		if d.rows[i].Domain == "" {
+			return 0, fmt.Errorf("block row %d has empty domain", i)
+		}
+		if err := fn(&d.rows[i]); err != nil {
+			return 0, err
+		}
+	}
+	return int64(n), nil
+}
+
+func (d *shardBlockDecoder) strCol(br *byteReader, set func(*dataset.Website, string)) error {
+	for i := range d.rows {
+		s, err := br.str()
+		if err != nil {
+			return err
+		}
+		set(&d.rows[i], s)
+	}
+	return nil
+}
+
+func (d *shardBlockDecoder) symCol(br *byteReader, set func(*dataset.Website, string)) error {
+	for i := range d.rows {
+		v, err := br.uvarint()
+		if err != nil {
+			return err
+		}
+		if v >= uint64(len(d.syms)) {
+			return fmt.Errorf("symbol %d out of range (table holds %d)", v, len(d.syms))
+		}
+		set(&d.rows[i], d.syms[v])
+	}
+	return nil
+}
+
+func (d *shardBlockDecoder) boolCol(br *byteReader, set func(*dataset.Website, bool)) error {
+	bits, err := br.take((len(d.rows) + 7) / 8)
+	if err != nil {
+		return err
+	}
+	for i := range d.rows {
+		set(&d.rows[i], bits[i/8]&(1<<(i%8)) != 0)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+// The million-site scale gate lives in an external test package so it can
+// drive the real production stack — worldgen shell, pipeline enrichment,
+// store ingestion — the way cmd/webdep does (the internal test package
+// cannot import pipeline, which imports corpusstore).
+package corpusstore_test
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/webdep/webdep/internal/corpusstore"
+	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+	"github.com/webdep/webdep/internal/pipeline"
+	"github.com/webdep/webdep/internal/worldgen"
+)
+
+const (
+	scaleSitesPerCountry = 6700 // × 150 countries = 1,005,000 sites
+	scaleDefaultBudgetMB = 400
+)
+
+// heapWatermark samples HeapAlloc until stopped, recording the peak. The
+// scale gate's budget is a watermark, not an average: one phase that
+// materializes the corpus blows it even if the steady state is small.
+type heapWatermark struct {
+	peak atomic.Uint64
+	stop chan struct{}
+	done chan struct{}
+}
+
+func watchHeap() *heapWatermark {
+	hw := &heapWatermark{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(hw.done)
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			hw.sample()
+			select {
+			case <-hw.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return hw
+}
+
+func (hw *heapWatermark) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	for {
+		old := hw.peak.Load()
+		if ms.HeapAlloc <= old || hw.peak.CompareAndSwap(old, ms.HeapAlloc) {
+			return
+		}
+	}
+}
+
+func (hw *heapWatermark) peakMB() float64 {
+	close(hw.stop)
+	<-hw.done
+	return float64(hw.peak.Load()) / (1 << 20)
+}
+
+// TestScaleMillionSiteStore is the CI memory-budget scale gate: a
+// million-site world (every country the paper models, 6700 sites each) is
+// generated, enriched, and ingested into a store country by country, then
+// scored by streaming the shards — all without the corpus ever being
+// resident. The test fails if the heap watermark exceeds the budget
+// (WEBDEP_SCALE_BUDGET_MB, default 400) or if streamed scores diverge from
+// a row-scan recomputation on sampled countries.
+//
+// Gated behind WEBDEP_SCALE_SMOKE=1: it runs minutes, not seconds.
+func TestScaleMillionSiteStore(t *testing.T) {
+	if os.Getenv("WEBDEP_SCALE_SMOKE") == "" {
+		t.Skip("set WEBDEP_SCALE_SMOKE=1 to run the million-site scale gate")
+	}
+	budgetMB := float64(scaleDefaultBudgetMB)
+	if s := os.Getenv("WEBDEP_SCALE_BUDGET_MB"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("WEBDEP_SCALE_BUDGET_MB=%q: %v", s, err)
+		}
+		budgetMB = v
+	}
+
+	ccs := countries.Codes()
+	w, err := worldgen.BuildShell(worldgen.Config{
+		Seed:               1,
+		SitesPerCountry:    scaleSitesPerCountry,
+		DomesticPerCountry: 40,
+		Countries:          ccs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSites := int64(len(ccs)) * scaleSitesPerCountry
+	if wantSites < 1_000_000 {
+		t.Fatalf("world holds %d sites; the scale gate requires at least a million", wantSites)
+	}
+
+	hw := watchHeap()
+	dir := t.TempDir()
+	opts := &corpusstore.Options{Obs: obs.NewRegistry()}
+
+	start := time.Now()
+	sw, err := corpusstore.Create(dir, w.Config.Epoch, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pipeline.FromWorld(w)
+	if err := p.MeasureWorldToStore(w, sw); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ingestDone := time.Now()
+
+	st, err := corpusstore.Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.TotalSites(); got != wantSites {
+		t.Fatalf("store holds %d sites, world generated %d", got, wantSites)
+	}
+	ss, err := st.Score()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoreDone := time.Now()
+
+	// Row-scan cross-check on a sampled subset: re-score each sampled
+	// country from its materialized rows and demand exact equality with the
+	// streamed tallies.
+	sampled := []string{ccs[0], ccs[len(ccs)/4], ccs[len(ccs)/2], ccs[3*len(ccs)/4], ccs[len(ccs)-1]}
+	for _, cc := range sampled {
+		list, err := st.ReadList(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int64(len(list.Sites)); got != scaleSitesPerCountry {
+			t.Fatalf("%s: %d rows, want %d", cc, got, scaleSitesPerCountry)
+		}
+		one := dataset.NewCorpus(st.Epoch())
+		one.Add(list)
+		rescored := one.ScoreSet()
+		for _, layer := range countries.Layers {
+			want := rescored.DistributionOf(cc, layer).Score()
+			got := ss.DistributionOf(cc, layer).Score()
+			if got != want {
+				t.Errorf("%s %v: streamed score %v, row-scan score %v", cc, layer, got, want)
+			}
+		}
+		// Release the materialized rows before sampling the next country.
+		list.Sites = nil
+	}
+
+	peakMB := hw.peakMB()
+	t.Logf("scale gate: %d sites, %d countries; ingest %.1fs, score %.1fs; heap watermark %.1f MB (budget %.0f MB)",
+		wantSites, len(ccs), ingestDone.Sub(start).Seconds(), scoreDone.Sub(ingestDone).Seconds(), peakMB, budgetMB)
+	if peakMB > budgetMB {
+		t.Fatalf("heap watermark %.1f MB exceeds the %.0f MB scale budget: the streaming path is materializing state it must not hold",
+			peakMB, budgetMB)
+	}
+}

@@ -268,42 +268,14 @@ func (c *Corpus) GlobalDistribution(layer countries.Layer) *core.Distribution {
 // The nested maps are built fresh per call (callers reshape them) from the
 // index's columnar count vectors in sorted country order.
 func (c *Corpus) UsageMatrix(layer countries.Layer) map[string]map[string]float64 {
-	idx := c.index()
-	ly := &idx.layers[layer]
-	matrix := make(map[string]map[string]float64)
-	for i, cc := range idx.countries {
-		col := &ly.cols[i]
-		if col.total == 0 {
-			continue
-		}
-		for k, sym := range col.syms {
-			provider := idx.providers.name(sym)
-			m := matrix[provider]
-			if m == nil {
-				m = make(map[string]float64)
-				matrix[provider] = m
-			}
-			m[cc] = 100 * col.counts[k] / col.total
-		}
-	}
-	return matrix
+	return c.index().usageMatrix(layer)
 }
 
 // UsageCurves converts a usage matrix into a per-provider usage curve over
 // the corpus's full country set (countries where a provider is absent
 // contribute zero, as in the paper's 150-value curves).
 func (c *Corpus) UsageCurves(layer countries.Layer) map[string]core.UsageCurve {
-	matrix := c.UsageMatrix(layer)
-	ccs := c.Countries()
-	out := make(map[string]core.UsageCurve, len(matrix))
-	for provider, byCountry := range matrix {
-		vals := make([]float64, len(ccs))
-		for i, cc := range ccs {
-			vals[i] = byCountry[cc]
-		}
-		out[provider] = core.NewUsageCurve(vals)
-	}
-	return out
+	return c.index().usageCurves(layer)
 }
 
 // Validate performs structural checks a data release should pass: known

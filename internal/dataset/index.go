@@ -139,7 +139,14 @@ func (c *Corpus) buildIndex() *scoringIndex {
 		// every score.
 		panic(fmt.Sprintf("dataset: scoring-index extraction failed: %v", err))
 	}
+	return buildIndexFromRaws(ccs, raws)
+}
 
+// buildIndexFromRaws merges per-country layer tallies into the immutable
+// index. ccs must be sorted and aligned with raws; symbols are interned in
+// (country, layer, rank) order, so the same tallies always produce the same
+// table — whether they came from in-memory rows or a streamed shard.
+func buildIndexFromRaws(ccs []string, raws [][numLayers]rawLayer) *scoringIndex {
 	idx := &scoringIndex{
 		countries: ccs,
 		pos:       make(map[string]int, len(ccs)),
@@ -175,24 +182,34 @@ func (c *Corpus) buildIndex() *scoringIndex {
 // mirroring CountryList.Distribution and CountryList.Insularity exactly.
 func extractCountry(list *CountryList) [numLayers]rawLayer {
 	var out [numLayers]rawLayer
+	initRaws(&out)
+	for i := range list.Sites {
+		observeSite(&out, list.Country, &list.Sites[i])
+	}
+	return out
+}
+
+func initRaws(out *[numLayers]rawLayer) {
 	for l := range out {
 		out[l].counts = make(map[string]uint32)
 	}
-	for i := range list.Sites {
-		w := &list.Sites[i]
-		for _, layer := range countries.Layers {
-			p, pc := w.ProviderOf(layer)
-			if p == "" {
-				continue
-			}
-			raw := &out[layer]
-			raw.counts[p]++
-			if layer != countries.TLD {
-				raw.ins.Observe(list.Country, pc)
-			}
+}
+
+// observeSite folds one website row into a country's per-layer tallies —
+// the row-level unit the corpus extraction and the streaming tally share,
+// so a streamed shard scores bit-identically to the in-memory rows.
+func observeSite(out *[numLayers]rawLayer, country string, w *Website) {
+	for _, layer := range countries.Layers {
+		p, pc := w.ProviderOf(layer)
+		if p == "" {
+			continue
+		}
+		raw := &out[layer]
+		raw.counts[p]++
+		if layer != countries.TLD {
+			raw.ins.Observe(country, pc)
 		}
 	}
-	return out
 }
 
 // buildCol converts one raw (country, layer) tally into its columnar form:

@@ -1,0 +1,164 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/webdep/webdep/internal/core"
+	"github.com/webdep/webdep/internal/countries"
+)
+
+// This file is the streaming face of the columnar scoring index: a caller
+// that cannot (or will not) materialize Website rows — the on-disk corpus
+// store scoring a million-site world shard by shard — feeds rows one at a
+// time into per-country CountryTally accumulators and merges them into a
+// ScoreSet, the same frozen scoring surface a Corpus exposes. Both paths
+// run the identical extraction and merge code, so the streamed scores are
+// bit-identical to scoring the rows in memory.
+
+// CountryTally accumulates one country's per-layer provider tallies row by
+// row. It is the streaming equivalent of the index's per-country extraction
+// pass; a tally holds only the provider counts and insularity counters,
+// never the rows, so its size is bounded by the country's provider
+// diversity rather than its site count. A tally is not safe for concurrent
+// Observe calls.
+type CountryTally struct {
+	country string
+	raws    [numLayers]rawLayer
+}
+
+// NewCountryTally returns an empty tally for the country.
+func NewCountryTally(country string) *CountryTally {
+	t := &CountryTally{country: country}
+	initRaws(&t.raws)
+	return t
+}
+
+// Country returns the country the tally accumulates.
+func (t *CountryTally) Country() string { return t.country }
+
+// Observe folds one website row into the tally: every layer's provider
+// count plus the non-TLD insularity counters, exactly as the in-memory
+// index extraction does. Rows with empty provider fields are skipped per
+// layer, mirroring how failed measurements are scored.
+func (t *CountryTally) Observe(w *Website) {
+	observeSite(&t.raws, t.country, w)
+}
+
+// ScoreSet is the frozen scoring surface of one corpus: per-country scores,
+// insularities, distributions, and usage — everything the analyses read —
+// without the website rows behind it. A Corpus exposes its index as a
+// ScoreSet via Corpus.ScoreSet; a streamed corpus builds one directly with
+// BuildScoreSet. A ScoreSet is immutable and safe for concurrent use.
+type ScoreSet struct {
+	idx *scoringIndex
+}
+
+// ScoreSet returns the corpus's scoring surface, building the index on
+// first use. The returned set shares the corpus's cached index; it stays
+// valid (as a snapshot) even if the corpus is mutated afterwards.
+func (c *Corpus) ScoreSet() *ScoreSet { return &ScoreSet{idx: c.index()} }
+
+// BuildScoreSet merges per-country streaming tallies into a ScoreSet.
+// Tallies are merged in sorted country order regardless of input order, so
+// the result — including the interned symbol table — is identical to
+// building a Corpus from the same rows and reading its index. Duplicate
+// countries are an error: two tallies for one country means the caller
+// split a country across shards without merging them.
+func BuildScoreSet(tallies []*CountryTally) (*ScoreSet, error) {
+	ordered := append([]*CountryTally(nil), tallies...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].country < ordered[j].country })
+	ccs := make([]string, len(ordered))
+	raws := make([][numLayers]rawLayer, len(ordered))
+	for i, t := range ordered {
+		if i > 0 && ccs[i-1] == t.country {
+			return nil, fmt.Errorf("dataset: duplicate tally for country %s", t.country)
+		}
+		ccs[i] = t.country
+		raws[i] = t.raws
+	}
+	return &ScoreSet{idx: buildIndexFromRaws(ccs, raws)}, nil
+}
+
+// Countries returns the set's country codes in sorted order.
+func (s *ScoreSet) Countries() []string {
+	return append([]string(nil), s.idx.countries...)
+}
+
+// Scores returns the centralization score per country for one layer. The
+// returned map is the caller's to keep or modify.
+func (s *ScoreSet) Scores(layer countries.Layer) map[string]float64 {
+	return cloneScores(s.idx.layers[layer].scores)
+}
+
+// Insularities returns the insularity fraction per country for one layer.
+// The returned map is the caller's.
+func (s *ScoreSet) Insularities(layer countries.Layer) map[string]float64 {
+	return cloneScores(s.idx.layers[layer].insular)
+}
+
+// DistributionOf returns the frozen provider distribution of one country's
+// layer, or nil when the country is not in the set. The distribution is
+// shared: safe for concurrent reads, not to be mutated.
+func (s *ScoreSet) DistributionOf(country string, layer countries.Layer) *core.Distribution {
+	i, ok := s.idx.pos[country]
+	if !ok {
+		return nil
+	}
+	return s.idx.layers[layer].cols[i].dist
+}
+
+// GlobalDistribution returns the frozen merge of every country's layer
+// distribution. Shared: safe for concurrent reads, not to be mutated.
+func (s *ScoreSet) GlobalDistribution(layer countries.Layer) *core.Distribution {
+	return s.idx.layers[layer].global
+}
+
+// UsageMatrix returns each provider's usage percentage per country for one
+// layer. The nested maps are built fresh per call.
+func (s *ScoreSet) UsageMatrix(layer countries.Layer) map[string]map[string]float64 {
+	return s.idx.usageMatrix(layer)
+}
+
+// UsageCurves converts the layer's usage matrix into per-provider usage
+// curves over the set's full country list (absent countries contribute
+// zero, as in the paper's 150-value curves).
+func (s *ScoreSet) UsageCurves(layer countries.Layer) map[string]core.UsageCurve {
+	return s.idx.usageCurves(layer)
+}
+
+// usageMatrix builds the provider → country → percent map from the index's
+// columnar count vectors in sorted country order.
+func (idx *scoringIndex) usageMatrix(layer countries.Layer) map[string]map[string]float64 {
+	ly := &idx.layers[layer]
+	matrix := make(map[string]map[string]float64)
+	for i, cc := range idx.countries {
+		col := &ly.cols[i]
+		if col.total == 0 {
+			continue
+		}
+		for k, sym := range col.syms {
+			provider := idx.providers.name(sym)
+			m := matrix[provider]
+			if m == nil {
+				m = make(map[string]float64)
+				matrix[provider] = m
+			}
+			m[cc] = 100 * col.counts[k] / col.total
+		}
+	}
+	return matrix
+}
+
+func (idx *scoringIndex) usageCurves(layer countries.Layer) map[string]core.UsageCurve {
+	matrix := idx.usageMatrix(layer)
+	out := make(map[string]core.UsageCurve, len(matrix))
+	for provider, byCountry := range matrix {
+		vals := make([]float64, len(idx.countries))
+		for i, cc := range idx.countries {
+			vals[i] = byCountry[cc]
+		}
+		out[provider] = core.NewUsageCurve(vals)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package worldgen
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"github.com/webdep/webdep/internal/parallel"
+)
+
+// TestBuildShellGenerateCountryMatchesBuild pins the contract the corpus
+// store's streaming ingestion rests on: a shell world regenerating one
+// country at a time yields exactly the rows Build retains, even with
+// countries generated concurrently.
+func TestBuildShellGenerateCountryMatchesBuild(t *testing.T) {
+	full := buildSmall(t)
+	shell, err := BuildShell(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shell.Raw) != 0 || len(shell.Truth.Countries()) != 0 {
+		t.Fatal("shell world retained country data")
+	}
+	ccs := shell.Config.Countries
+	err = parallel.ForEachIndexed(context.Background(), 4, len(ccs), func(_ context.Context, i int) error {
+		cc := ccs[i]
+		raw, list, err := shell.GenerateCountry(cc)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(raw, full.Raw[cc]) {
+			t.Errorf("%s: regenerated raw sites differ from Build's", cc)
+		}
+		if !reflect.DeepEqual(list, full.Truth.Get(cc)) {
+			t.Errorf("%s: regenerated truth list differs from Build's", cc)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := shell.GenerateCountry("XX"); err == nil {
+		t.Fatal("unknown country accepted")
+	}
+}
+
+// TestGenerateCountryNextEpoch: regeneration must reproduce the epoch
+// drift of a BuildNextEpoch world, not the base epoch's rows.
+func TestGenerateCountryNextEpoch(t *testing.T) {
+	base := buildSmall(t)
+	next, err := BuildNextEpoch(base, "2023-06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range []string{"US", "TM"} {
+		raw, list, err := next.GenerateCountry(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(raw, next.Raw[cc]) {
+			t.Errorf("%s: regenerated raw sites differ from BuildNextEpoch's", cc)
+		}
+		if !reflect.DeepEqual(list, next.Truth.Get(cc)) {
+			t.Errorf("%s: regenerated truth list differs from BuildNextEpoch's", cc)
+		}
+	}
+}

@@ -88,15 +88,45 @@ type World struct {
 	Anycast *anycast.Set
 	Owners  *capki.OwnerDB
 
-	// Raw holds the crawler-visible inputs per country.
+	// Raw holds the crawler-visible inputs per country. Worlds built with
+	// BuildShell leave it empty and regenerate countries on demand
+	// (GenerateCountry), so million-site worlds never sit in memory whole.
 	Raw map[string][]RawSite
 	// Truth is the ground-truth enriched corpus a perfect measurement
-	// would produce.
+	// would produce. Empty for BuildShell worlds.
 	Truth *dataset.Corpus
+
+	// adj carries the epoch-drift parameters for worlds derived by
+	// BuildNextEpoch, so GenerateCountry reproduces the drifted lists.
+	adj *epochAdjust
 }
 
-// Build generates a world from the configuration.
+// Build generates a world from the configuration, materializing every
+// country's raw sites and ground truth.
 func Build(cfg Config) (*World, error) {
+	w, err := BuildShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, cc := range w.Config.Countries {
+		country, ok := countries.ByCode(cc)
+		if !ok {
+			return nil, fmt.Errorf("worldgen: unknown country %q", cc)
+		}
+		if err := w.generateCountry(country, w.Config.Epoch, nil); err != nil {
+			return nil, fmt.Errorf("worldgen: %s: %w", cc, err)
+		}
+	}
+	return w, nil
+}
+
+// BuildShell generates a world's infrastructure — providers, routing,
+// geolocation, anycast, CA registry — without materializing any toplist.
+// Countries are generated on demand with GenerateCountry; per-country
+// generation is deterministic (seeded per (seed, country, epoch)), so a
+// shell world plus GenerateCountry produces exactly the lists Build
+// retains, one country's worth of memory at a time.
+func BuildShell(cfg Config) (*World, error) {
 	cfg = cfg.withDefaults()
 	// Instantiate domestic providers for the configured countries plus any
 	// country they depend on (a Turkmenistan-only world still needs the
@@ -142,16 +172,25 @@ func Build(cfg Config) (*World, error) {
 	if err := w.registerInfrastructure(); err != nil {
 		return nil, err
 	}
-	for _, cc := range cfg.Countries {
-		country, ok := countries.ByCode(cc)
-		if !ok {
-			return nil, fmt.Errorf("worldgen: unknown country %q", cc)
-		}
-		if err := w.generateCountry(country, cfg.Epoch, nil); err != nil {
-			return nil, fmt.Errorf("worldgen: %s: %w", cc, err)
-		}
-	}
 	return w, nil
+}
+
+// GenerateCountry builds one country's raw sites and ground-truth list
+// without retaining either in the world — the streaming counterpart of
+// Build for worlds too large to hold. The result is identical to what
+// Build stores in Raw and Truth for the same configuration (including the
+// epoch drift of a BuildNextEpoch world). Safe for concurrent use across
+// countries: generation only reads the world's shared infrastructure.
+func (w *World) GenerateCountry(cc string) ([]RawSite, *dataset.CountryList, error) {
+	country, ok := countries.ByCode(cc)
+	if !ok {
+		return nil, nil, fmt.Errorf("worldgen: unknown country %q", cc)
+	}
+	raw, list, err := w.buildCountry(country, w.Config.Epoch, w.adj)
+	if err != nil {
+		return nil, nil, fmt.Errorf("worldgen: %s: %w", cc, err)
+	}
+	return raw, list, nil
 }
 
 // registerInfrastructure loads the address plan into the geolocation,
@@ -266,6 +305,20 @@ func (w *World) prevCloudflareShare(prev []RawSite) float64 {
 // generateCountry builds one country's toplist for one epoch and appends
 // it to the world.
 func (w *World) generateCountry(c countries.Country, epoch string, adj *epochAdjust) error {
+	raw, list, err := w.buildCountry(c, epoch, adj)
+	if err != nil {
+		return err
+	}
+	w.Raw[c.Code] = raw
+	w.Truth.Add(list)
+	return nil
+}
+
+// buildCountry generates one country's raw sites and enriched list without
+// touching the world's retained state, so it can serve both the retaining
+// Build path and the streaming GenerateCountry path (and run concurrently
+// across countries).
+func (w *World) buildCountry(c countries.Country, epoch string, adj *epochAdjust) ([]RawSite, *dataset.CountryList, error) {
 	rng := countryRNG(w.Config.Seed, c.Code, epoch)
 	total := w.Config.SitesPerCountry
 
@@ -306,28 +359,28 @@ func (w *World) generateCountry(c countries.Country, epoch string, adj *epochAdj
 	}
 	hostCounts, err := synthesizeWithGroups(hostProfile, total, hostTarget, hostGroups)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	hostAssign := expandAssignments(hostCounts, rng.Shuffle)
 
 	tldProfile, tldGroups := w.tldProfile(c)
 	tldCounts, err := synthesizeWithGroups(tldProfile, total, c.PaperScore[countries.TLD], tldGroups)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	tldAssign := expandAssignments(tldCounts, rng.Shuffle)
 
 	caProfile := w.caProfile(c)
 	caCounts, err := synthesizeCounts(caProfile, total, c.PaperScore[countries.CA])
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	caAssign := expandAssignments(caCounts, rng.Shuffle)
 
 	dnsProfile, dnsGroups := w.dnsProfile(c, 1.0)
 	dnsCounts, err := synthesizeWithGroups(dnsProfile, total, c.PaperScore[countries.DNS], dnsGroups)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 
 	domains := w.domainsFor(c, epoch, tldAssign, adj, rng)
@@ -370,9 +423,7 @@ func (w *World) generateCountry(c countries.Country, epoch string, adj *epochAdj
 			TLD: tld, Language: langs[i],
 		})
 	}
-	w.Raw[c.Code] = raw
-	w.Truth.Add(list)
-	return nil
+	return raw, list, nil
 }
 
 // servingContinent decides where a provider serves this country's users
@@ -629,6 +680,7 @@ func BuildNextEpoch(w *World, epoch string) (*World, error) {
 		keepFraction: 0.54,
 		prev:         w.Raw,
 	}
+	next.adj = adj
 	for _, cc := range cfg.Countries {
 		country, ok := countries.ByCode(cc)
 		if !ok {
