@@ -27,6 +27,7 @@ import (
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/dnsserver"
+	"github.com/webdep/webdep/internal/fedcrawl"
 	"github.com/webdep/webdep/internal/liveworld"
 	"github.com/webdep/webdep/internal/obs"
 	"github.com/webdep/webdep/internal/pipeline"
@@ -60,6 +61,13 @@ type options struct {
 	// sites. See internal/checkpoint.
 	Checkpoint string
 	Resume     bool
+	// Federate, when > 1, runs the live crawl as a federation of N shard
+	// workers coordinated through per-worker journals under the
+	// -checkpoint directory; Merge skips crawling entirely and reassembles
+	// a corpus from an existing directory of shard journals. See
+	// internal/fedcrawl.
+	Federate int
+	Merge    string
 	// Store, when non-empty, also persists the measured corpus as a binary
 	// sharded store at the given directory (see internal/corpusstore);
 	// FromStore skips world building entirely and exports/scores an
@@ -90,6 +98,8 @@ func main() {
 		minCov    = flag.Float64("min-coverage", 1, "live mode: per-country coverage threshold; countries below it are flagged degraded (negative disables the check)")
 		ckpt      = flag.String("checkpoint", "", "live mode: journal completed probes to <dir>/<epoch>.journal for crash-safe resume")
 		resume    = flag.Bool("resume", false, "reopen the -checkpoint journal and re-probe only missing or lost sites")
+		federate  = flag.Int("federate", 0, "live mode: shard the crawl across N federated workers journaling under the -checkpoint directory")
+		merge     = flag.String("merge", "", "skip crawling: merge an existing directory of federated shard journals into a corpus")
 		store     = flag.String("store", "", "also persist the measured corpus as a binary sharded store at this directory")
 		fromStore = flag.String("from-store", "", "skip world building: export and score an existing corpus store")
 		stats     = flag.Bool("stats", false, "print the observability registry (stage timings, probe latencies, retry/breaker counters) after the run")
@@ -103,6 +113,7 @@ func main() {
 		Zones: *zones, Workers: *workers,
 		FailFast: *failFast, MinCoverage: *minCov,
 		Checkpoint: *ckpt, Resume: *resume,
+		Federate: *federate, Merge: *merge,
 		Store: *store, FromStore: *fromStore,
 		Stats: *stats, DebugAddr: *debugAddr,
 	}
@@ -125,12 +136,44 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(opts options) error {
+// validate rejects contradictory flag combinations up front, before any
+// expensive work (or worse, a partial output directory) can happen. Every
+// rule names both flags so the usage error reads like the fix.
+func (opts options) validate() error {
 	if opts.Checkpoint != "" && !opts.Live {
 		return fmt.Errorf("-checkpoint only applies to -live crawls")
 	}
 	if opts.Resume && opts.Checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
+	}
+	if opts.Federate < 0 {
+		return fmt.Errorf("-federate needs a positive worker count, got %d", opts.Federate)
+	}
+	if opts.Federate > 0 {
+		switch {
+		case !opts.Live:
+			return fmt.Errorf("-federate shards a live crawl; it requires -live")
+		case opts.Checkpoint == "":
+			return fmt.Errorf("-federate journals its shard workers under -checkpoint; pass a directory")
+		case opts.Resume:
+			return fmt.Errorf("-resume does not apply to -federate: a federated run always resumes from the journals already in its -checkpoint directory")
+		}
+	}
+	if opts.Merge != "" {
+		switch {
+		case opts.Federate > 0:
+			return fmt.Errorf("-merge and -federate are mutually exclusive: -federate already merges when the crawl converges")
+		case opts.Checkpoint != "":
+			return fmt.Errorf("-merge reads shard journals from its own directory argument; it cannot be combined with -checkpoint")
+		case opts.Live:
+			return fmt.Errorf("-merge reassembles an existing journal directory; it cannot be combined with -live")
+		case opts.FromStore != "":
+			return fmt.Errorf("-merge and -from-store are mutually exclusive corpus sources")
+		case opts.Epoch2:
+			return fmt.Errorf("-merge exports one journaled epoch; it cannot be combined with -epoch2")
+		case opts.Zones:
+			return fmt.Errorf("-zones needs a generated world; it cannot be combined with -merge")
+		}
 	}
 	if opts.FromStore != "" {
 		switch {
@@ -143,6 +186,13 @@ func run(opts options) error {
 		case opts.Zones:
 			return fmt.Errorf("-zones needs a generated world; it cannot be combined with -from-store")
 		}
+	}
+	return nil
+}
+
+func run(opts options) error {
+	if err := opts.validate(); err != nil {
+		return err
 	}
 	if opts.DebugAddr != "" {
 		srv, err := obs.ServeDebug(opts.DebugAddr, obs.Default())
@@ -160,6 +210,9 @@ func run(opts options) error {
 	if opts.FromStore != "" {
 		return runFromStore(opts)
 	}
+	if opts.Merge != "" {
+		return runMerge(opts)
+	}
 
 	cfg := worldgen.Config{Seed: opts.Seed, SitesPerCountry: opts.Sites, Countries: opts.Countries}
 	if opts.GeoErr {
@@ -174,7 +227,9 @@ func run(opts options) error {
 	}
 
 	var corpus *dataset.Corpus
-	if opts.Live {
+	if opts.Live && opts.Federate > 0 {
+		corpus, err = measureFederated(w, opts)
+	} else if opts.Live {
 		corpus, err = measureLive(w, opts)
 	} else {
 		p := pipeline.FromWorld(w)
@@ -278,6 +333,90 @@ func measureLive(w *worldgen.World, opts options) (*dataset.Corpus, error) {
 		}
 	}
 	return corpus, nil
+}
+
+// measureFederated runs the live crawl as a federation of -federate shard
+// workers, each journaling to its own file under the -checkpoint
+// directory. The coordinator trusts only those journals: rerunning the
+// same command after a crash (or after deliberately killing it) resumes
+// from whatever the workers managed to make durable.
+func measureFederated(w *worldgen.World, opts options) (*dataset.Corpus, error) {
+	fmt.Fprintln(os.Stderr, "serving world over DNS and TLS...")
+	ep, err := liveworld.Serve(w)
+	if err != nil {
+		return nil, err
+	}
+	defer ep.Close()
+	if err := os.MkdirAll(opts.Checkpoint, 0o755); err != nil {
+		return nil, err
+	}
+	cfg := fedcrawl.Config{
+		Epoch:     w.Config.Epoch,
+		Countries: w.Config.Countries,
+		DomainsOf: func(cc string) []string { return w.Truth.Get(cc).Domains() },
+		Workers:   opts.Federate,
+		Dir:       opts.Checkpoint,
+		NewLive: func(worker string) *pipeline.Live {
+			return &pipeline.Live{
+				Pipeline:       pipeline.FromWorld(w),
+				DNS:            resolver.NewClient(ep.DNSAddr),
+				Scanner:        tlsscan.New(w.Owners),
+				TLSAddr:        ep.TLSAddr,
+				Workers:        opts.Workers,
+				DetectLanguage: true,
+				Resilience:     resilience.NewPolicy(),
+			}
+		},
+	}
+	if opts.Federate >= 2 {
+		// With at least two vantages available, probe every shard from a
+		// second one as well: the overlap is what feeds the cross-vantage
+		// disagreement table below.
+		cfg.Replicate = 1
+	}
+	coord, err := fedcrawl.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "federated crawl: %d workers journaling under %s...\n",
+		opts.Federate, opts.Checkpoint)
+	res, err := coord.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "federated crawl: %d waves, %d dispatches (%d re-dispatched, %d replicas), %d journals merged\n",
+		res.Stats.Waves, res.Stats.Dispatches, res.Stats.Redispatches, res.Stats.Replicas, len(res.Journals))
+	report.DisagreementTable(os.Stderr, "cross-vantage disagreement", &res.Disagreement)
+	return res.Corpus, nil
+}
+
+// runMerge reassembles a corpus from an existing directory of federated
+// shard journals — the offline half of -federate, for when the crawl ran
+// elsewhere and only the journals travelled. The campaign identity (epoch,
+// country set) is adopted from the journals themselves.
+func runMerge(opts options) error {
+	res, err := fedcrawl.Merge(opts.Merge, "", nil, obs.Default())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "merged %d shard journals from %s (epoch %s, %d sites, %d countries)\n",
+		len(res.Journals), opts.Merge, res.Corpus.Epoch, res.Corpus.TotalSites(), len(res.Corpus.Lists))
+	if err := export(opts.Out, res.Corpus); err != nil {
+		return err
+	}
+	if opts.Store != "" {
+		if err := corpusstore.Save(opts.Store, res.Corpus, &corpusstore.Options{Workers: opts.Workers}); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "stored corpus (%d sites, %d countries) to %s\n",
+			res.Corpus.TotalSites(), len(res.Corpus.Lists), opts.Store)
+	}
+	report.CoverageTable(os.Stderr, "merged coverage", res.Corpus)
+	report.DisagreementTable(os.Stderr, "cross-vantage disagreement", &res.Disagreement)
+	if opts.Summary {
+		printSummary(res.Corpus.ScoreSet(), res.Corpus.CoverageByCountry)
+	}
+	return nil
 }
 
 // openJournal creates or resumes the crawl's journal at

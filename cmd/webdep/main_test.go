@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/webdep/webdep/internal/dataset"
@@ -105,14 +106,90 @@ func TestRunRejectsUnknownCountry(t *testing.T) {
 	}
 }
 
-func TestRunCheckpointFlagValidation(t *testing.T) {
-	if err := run(options{Seed: 5, Sites: 50, Out: t.TempDir(), Countries: []string{"CZ"},
-		Checkpoint: t.TempDir()}); err == nil {
-		t.Error("-checkpoint without -live accepted")
+// TestFlagMatrixValidation walks the matrix of contradictory flag
+// combinations. Every rejection must happen in validate() — before any
+// world building — and must name the offending flag so the error doubles
+// as usage help.
+func TestFlagMatrixValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts options
+		want string // substring the usage error must contain
+	}{
+		{"checkpoint without live", options{Checkpoint: "d"}, "-checkpoint"},
+		{"resume without checkpoint", options{Live: true, Resume: true}, "-resume"},
+		{"negative federate", options{Live: true, Checkpoint: "d", Federate: -2}, "-federate"},
+		{"federate without live", options{Federate: 3}, "-federate"},
+		{"federate without checkpoint", options{Live: true, Federate: 3}, "-checkpoint"},
+		{"federate with resume", options{Live: true, Checkpoint: "d", Federate: 3, Resume: true}, "-resume"},
+		{"merge with live", options{Merge: "d", Live: true}, "-live"},
+		{"merge with federate", options{Merge: "d", Live: true, Checkpoint: "c", Federate: 2}, "-federate"},
+		{"merge with from-store", options{Merge: "d", FromStore: "s"}, "-from-store"},
+		{"merge with checkpoint", options{Merge: "d", Checkpoint: "c", Live: true}, "-checkpoint"},
+		{"merge with epoch2", options{Merge: "d", Epoch2: true}, "-epoch2"},
+		{"merge with zones", options{Merge: "d", Zones: true}, "-zones"},
+		{"from-store with live", options{FromStore: "s", Live: true}, "-live"},
+		{"from-store with store", options{FromStore: "s", Store: "t"}, "-store"},
+		{"from-store with epoch2", options{FromStore: "s", Epoch2: true}, "-epoch2"},
+		{"from-store with zones", options{FromStore: "s", Zones: true}, "-zones"},
 	}
-	if err := run(options{Seed: 5, Sites: 50, Out: t.TempDir(), Countries: []string{"CZ"},
-		Live: true, Resume: true}); err == nil {
-		t.Error("-resume without -checkpoint accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opts.validate()
+			if err == nil {
+				t.Fatalf("options %+v accepted", tc.opts)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name %s", err, tc.want)
+			}
+		})
+	}
+
+	// The valid shapes of the same flags must still pass validation.
+	for _, ok := range []options{
+		{},
+		{Live: true, Checkpoint: "d", Resume: true},
+		{Live: true, Checkpoint: "d", Federate: 3},
+		{Merge: "d", Store: "s"},
+		{FromStore: "s"},
+	} {
+		if err := ok.validate(); err != nil {
+			t.Errorf("valid options %+v rejected: %v", ok, err)
+		}
+	}
+}
+
+// TestRunFederatedAndMerge drives the federation CLI end to end: a
+// -federate crawl leaves per-worker shard journals under -checkpoint and
+// exports a corpus; a separate -merge invocation over the same directory
+// must reassemble a byte-identical export from the journals alone.
+func TestRunFederatedAndMerge(t *testing.T) {
+	fedOut, mergeOut := t.TempDir(), t.TempDir()
+	ckpt := t.TempDir()
+	if err := run(options{Seed: 5, Sites: 12, Out: fedOut, Countries: []string{"CZ", "TH"},
+		Live: true, Workers: 4, Federate: 2, Checkpoint: ckpt, MinCoverage: 1}); err != nil {
+		t.Fatal(err)
+	}
+	journals, err := filepath.Glob(filepath.Join(ckpt, "*.journal"))
+	if err != nil || len(journals) < 2 {
+		t.Fatalf("expected >=2 shard journals under %s, got %v (%v)", ckpt, journals, err)
+	}
+
+	if err := run(options{Out: mergeOut, Merge: ckpt, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for _, cc := range []string{"CZ", "TH"} {
+		want, err := os.ReadFile(filepath.Join(fedOut, "2023-05", cc+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(mergeOut, "2023-05", cc+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: -merge export differs from the -federate export", cc)
+		}
 	}
 }
 

@@ -119,6 +119,26 @@ type Stats struct {
 	Compactions int64
 	// Fsyncs counts append-path fsyncs.
 	Fsyncs int64
+
+	// The Merge* fields are a Merger's accounting; a Journal leaves them
+	// zero. Refused partial journals must be observable: a federated merge
+	// that silently skipped an unreadable shard would present a partial
+	// corpus as complete.
+
+	// MergeJournals counts partial journals a Merger accepted.
+	MergeJournals int64
+	// MergeRecords counts site records folded in across accepted journals,
+	// including entries later superseded by a newer generation.
+	MergeRecords int64
+	// MergeRefusalsForeign counts partial journals refused at merge time
+	// for belonging to another campaign: wrong epoch, country set, or
+	// journal version.
+	MergeRefusalsForeign int64
+	// MergeRefusalsCorrupt counts partial journals refused at merge time
+	// for mid-file corruption (a torn FINAL record is tolerated — it is the
+	// expected residue of a worker crash — but corruption with good records
+	// after it is not).
+	MergeRefusalsCorrupt int64
 }
 
 // CorruptError reports unrecoverable journal corruption: a record that
@@ -134,11 +154,35 @@ func (e *CorruptError) Error() string {
 	return fmt.Sprintf("checkpoint: %s: corrupt journal at byte offset %d: %s", e.Path, e.Offset, e.Reason)
 }
 
-// header is the journal's first record.
+// ShardInfo identifies one federated worker's partial journal: which
+// vantage wrote it, its place in the federation, and the dispatch
+// generation (re-dispatch waves increment it). A journal carrying a
+// ShardInfo is one worker's slice of a sharded crawl — it must be merged
+// with its sibling shards, never resumed as a whole-crawl journal.
+type ShardInfo struct {
+	// Worker is the vantage/worker identifier (e.g. "w2").
+	Worker string `json:"worker"`
+	// Index is the worker's 0-based index in the federation.
+	Index int `json:"index"`
+	// Total is how many workers the federation was configured with.
+	Total int `json:"total"`
+	// Gen is the 1-based dispatch generation this journal belongs to;
+	// shard re-assignment after a worker failure starts a new generation.
+	Gen int `json:"gen"`
+}
+
+func (s *ShardInfo) String() string {
+	return fmt.Sprintf("worker %q (%d/%d, gen %d)", s.Worker, s.Index+1, s.Total, s.Gen)
+}
+
+// header is the journal's first record. Shard is nil for a whole-crawl
+// journal; pre-shard journals decode with Shard nil, so they stay
+// resumable by this build.
 type header struct {
-	Version   int      `json:"version"`
-	Epoch     string   `json:"epoch"`
-	Countries []string `json:"countries"`
+	Version   int        `json:"version"`
+	Epoch     string     `json:"epoch"`
+	Countries []string   `json:"countries"`
+	Shard     *ShardInfo `json:"shard,omitempty"`
 }
 
 // siteRecord is the wire form of one journaled site.
@@ -160,6 +204,11 @@ type journalMetrics struct {
 	compactions     *obs.Counter
 	armed           *obs.Gauge
 	fsyncMS         *obs.Histogram
+
+	mergeJournals        *obs.Counter
+	mergeRecords         *obs.Counter
+	mergeRefusalsForeign *obs.Counter
+	mergeRefusalsCorrupt *obs.Counter
 }
 
 func newJournalMetrics(r *obs.Registry) *journalMetrics {
@@ -176,6 +225,11 @@ func newJournalMetrics(r *obs.Registry) *journalMetrics {
 		compactions:     r.Counter("checkpoint.compactions"),
 		armed:           r.Gauge("checkpoint.armed"),
 		fsyncMS:         r.Timing("checkpoint.fsync_ms"),
+
+		mergeJournals:        r.Counter("checkpoint.merge_journals"),
+		mergeRecords:         r.Counter("checkpoint.merge_records"),
+		mergeRefusalsForeign: r.Counter("checkpoint.merge_refusals_foreign"),
+		mergeRefusalsCorrupt: r.Counter("checkpoint.merge_refusals_corrupt"),
 	}
 }
 
@@ -185,7 +239,8 @@ func newJournalMetrics(r *obs.Registry) *journalMetrics {
 type Journal struct {
 	path      string
 	epoch     string
-	countries []string // sorted copy
+	countries []string   // sorted copy
+	shard     *ShardInfo // nil for a whole-crawl journal
 	onDisarm  func(error)
 	wrap      func(WriteSyncer) WriteSyncer
 	syncEvery int
@@ -257,10 +312,31 @@ func (j *Journal) attach(f *os.File) {
 // Create returns; if that first write fails the journal comes back
 // disarmed — the crawl can proceed, it just is not restartable.
 func Create(path, epoch string, countries []string, opts *Options) (*Journal, error) {
+	return create(path, epoch, countries, nil, opts)
+}
+
+// CreateShard starts a fresh partial journal for one federated worker's
+// dispatch: the header carries the shard descriptor, marking the file as
+// one vantage's slice of a sharded crawl. A shard journal is refused by
+// Resume — its completion story is the merge step, not a single-process
+// resume.
+func CreateShard(path, epoch string, countries []string, shard *ShardInfo, opts *Options) (*Journal, error) {
+	if shard == nil {
+		return nil, fmt.Errorf("checkpoint: CreateShard needs a shard descriptor")
+	}
+	if shard.Worker == "" || shard.Total <= 0 || shard.Index < 0 || shard.Index >= shard.Total {
+		return nil, fmt.Errorf("checkpoint: invalid shard descriptor %+v", *shard)
+	}
+	sh := *shard
+	return create(path, epoch, countries, &sh, opts)
+}
+
+func create(path, epoch string, countries []string, shard *ShardInfo, opts *Options) (*Journal, error) {
 	j, err := newJournal(path, epoch, countries, opts)
 	if err != nil {
 		return nil, err
 	}
+	j.shard = shard
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
@@ -301,6 +377,14 @@ func Resume(path, epoch string, countries []string, opts *Options) (*Journal, er
 		return nil, err
 	}
 	if sc.hdr != nil {
+		if sc.hdr.Shard != nil {
+			// A federated shard journal holds one vantage's slice of the
+			// crawl; resuming it as if it were the whole campaign would
+			// silently skip every other worker's sites. Merge it instead.
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: %s is a federated shard journal (%s); merge it with its sibling shards instead of resuming it",
+				path, sc.hdr.Shard)
+		}
 		if err := matches(sc.hdr.Epoch, sc.hdr.Countries, epoch, countries); err != nil {
 			f.Close()
 			return nil, err
@@ -385,6 +469,16 @@ func (j *Journal) Epoch() string { return j.epoch }
 
 // Countries returns the journal's country set, sorted.
 func (j *Journal) Countries() []string { return append([]string(nil), j.countries...) }
+
+// Shard returns the journal's shard descriptor, or nil for a whole-crawl
+// journal.
+func (j *Journal) Shard() *ShardInfo {
+	if j.shard == nil {
+		return nil
+	}
+	sh := *j.shard
+	return &sh
+}
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }
@@ -625,7 +719,7 @@ func (j *Journal) syncLocked() error {
 }
 
 func (j *Journal) headerRecord() header {
-	return header{Version: Version, Epoch: j.epoch, Countries: j.countries}
+	return header{Version: Version, Epoch: j.epoch, Countries: j.countries, Shard: j.shard}
 }
 
 // writeHeaderLocked writes magic + header through the (possibly wrapped)

@@ -1,0 +1,236 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+)
+
+// writeShard journals the given (country, domain) pairs as one worker's
+// partial journal and returns its path.
+func writeShard(t *testing.T, dir, name string, sh *ShardInfo, pairs [][2]string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var j *Journal
+	var err error
+	if sh != nil {
+		j, err = CreateShard(path, "2023-05", testCCs, sh, nil)
+	} else {
+		j, err = Create(path, "2023-05", testCCs, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pairs {
+		j.Append(p[0], site(p[0], p[1], i+1), okOutcome())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMergerFoldsPartialJournals(t *testing.T) {
+	dir := t.TempDir()
+	writeShard(t, dir, "w0-g1.journal", &ShardInfo{Worker: "w0", Index: 0, Total: 2, Gen: 1},
+		[][2]string{{"TH", "a.th"}, {"TH", "b.th"}})
+	writeShard(t, dir, "w1-g1.journal", &ShardInfo{Worker: "w1", Index: 1, Total: 2, Gen: 1},
+		[][2]string{{"CZ", "a.cz"}, {"TH", "b.th"}}) // b.th probed by both vantages
+
+	reg := obs.NewRegistry()
+	g := NewMerger("2023-05", testCCs, &Options{Obs: reg})
+	for _, name := range []string{"w0-g1.journal", "w1-g1.journal"} {
+		if _, err := g.ReadJournal(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	entries := g.Entries()
+	if len(entries) != 3 {
+		t.Fatalf("merged %d keys, want 3", len(entries))
+	}
+	overlap := entries[Key{Country: "TH", Domain: "b.th"}]
+	if len(overlap) != 2 {
+		t.Fatalf("overlapping key has %d entries, want one per vantage", len(overlap))
+	}
+	if overlap[0].Source.Worker() == overlap[1].Source.Worker() {
+		t.Errorf("overlap entries claim the same vantage %q", overlap[0].Source.Worker())
+	}
+
+	st := g.Stats()
+	if st.MergeJournals != 2 || st.MergeRecords != 4 {
+		t.Errorf("stats = %+v, want 2 journals / 4 records", st)
+	}
+	if st.MergeRefusalsForeign != 0 || st.MergeRefusalsCorrupt != 0 {
+		t.Errorf("refusals counted on a clean merge: %+v", st)
+	}
+	// Dual-recording: the obs channel must agree exactly with Stats.
+	checks := map[string]int64{
+		"checkpoint.merge_journals":         st.MergeJournals,
+		"checkpoint.merge_records":          st.MergeRecords,
+		"checkpoint.merge_refusals_foreign": st.MergeRefusalsForeign,
+		"checkpoint.merge_refusals_corrupt": st.MergeRefusalsCorrupt,
+		"checkpoint.truncations":            st.Truncations,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, merger accounting says %d", name, got, want)
+		}
+	}
+}
+
+func TestMergerSameJournalDuplicateSupersedes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w0-g1.journal")
+	j, err := CreateShard(path, "2023-05", testCCs, &ShardInfo{Worker: "w0", Index: 0, Total: 1, Gen: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := okOutcome()
+	lost.CA = dataset.StatusLost
+	j.Append("TH", site("TH", "a.th", 1), lost)
+	j.Append("TH", site("TH", "a.th", 1), okOutcome()) // re-probe won the field back
+	j.Close()
+
+	g := NewMerger("2023-05", testCCs, nil)
+	if _, err := g.ReadJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	list := g.Entries()[Key{Country: "TH", Domain: "a.th"}]
+	if len(list) != 1 {
+		t.Fatalf("same-journal duplicate kept %d entries, want newest only", len(list))
+	}
+	if list[0].Entry.Outcome.Lost() {
+		t.Error("superseded lost record won over the newer complete one")
+	}
+	if st := g.Stats(); st.MergeRecords != 2 {
+		t.Errorf("records = %d; superseded records still count as read", st.MergeRecords)
+	}
+}
+
+func TestMergerRefusesForeignJournals(t *testing.T) {
+	dir := t.TempDir()
+	// Foreign epoch.
+	foreign := filepath.Join(dir, "foreign.journal")
+	fj, err := Create(foreign, "2099-01", testCCs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj.Append("TH", site("TH", "a.th", 1), okOutcome())
+	fj.Close()
+
+	reg := obs.NewRegistry()
+	g := NewMerger("2023-05", testCCs, &Options{Obs: reg})
+	_, err = g.ReadJournal(foreign)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("foreign epoch refusal is %T (%v), want *CorruptError", err, err)
+	}
+	// Foreign country set.
+	sj, err := Create(filepath.Join(dir, "cc.journal"), "2023-05", []string{"TH"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj.Close()
+	if _, err := g.ReadJournal(filepath.Join(dir, "cc.journal")); !errors.As(err, &ce) {
+		t.Fatalf("foreign country set refusal is %T, want *CorruptError", err)
+	}
+
+	st := g.Stats()
+	if st.MergeRefusalsForeign != 2 {
+		t.Errorf("foreign refusals = %d, want 2", st.MergeRefusalsForeign)
+	}
+	if got := reg.Counter("checkpoint.merge_refusals_foreign").Value(); got != st.MergeRefusalsForeign {
+		t.Errorf("obs foreign refusals = %d, stats say %d", got, st.MergeRefusalsForeign)
+	}
+}
+
+func TestMergerRefusesMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := writeShard(t, dir, "w0-g1.journal", &ShardInfo{Worker: "w0", Index: 0, Total: 1, Gen: 1},
+		[][2]string{{"TH", "a.th"}, {"TH", "b.th"}, {"CZ", "a.cz"}})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the file: corruption with good
+	// records after it, which truncation could not recover honestly.
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	g := NewMerger("2023-05", testCCs, &Options{Obs: reg})
+	_, err = g.ReadJournal(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("mid-file corruption returned %T (%v), want *CorruptError", err, err)
+	}
+	if ce.Offset <= 0 {
+		t.Errorf("corrupt offset = %d, want a real byte offset", ce.Offset)
+	}
+	st := g.Stats()
+	if st.MergeRefusalsCorrupt != 1 || st.MergeJournals != 0 {
+		t.Errorf("stats = %+v, want 1 corrupt refusal and 0 accepted journals", st)
+	}
+	if got := reg.Counter("checkpoint.merge_refusals_corrupt").Value(); got != 1 {
+		t.Errorf("obs corrupt refusals = %d, want 1", got)
+	}
+}
+
+func TestMergerToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := writeShard(t, dir, "w0-g1.journal", &ShardInfo{Worker: "w0", Index: 0, Total: 1, Gen: 1},
+		[][2]string{{"TH", "a.th"}, {"TH", "b.th"}})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shear 5 bytes off the final record: the residue of a worker killed
+	// mid-append.
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g := NewMerger("2023-05", testCCs, nil)
+	info, err := g.ReadJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail refused: %v", err)
+	}
+	if !info.Truncated {
+		t.Error("torn tail not reported")
+	}
+	if len(g.Entries()) != 1 {
+		t.Errorf("merged %d keys, want the 1 whole record before the tear", len(g.Entries()))
+	}
+	if st := g.Stats(); st.Truncations != 1 || st.MergeJournals != 1 {
+		t.Errorf("stats = %+v, want 1 truncation on 1 accepted journal", st)
+	}
+}
+
+func TestMergerAdoptsFirstHeader(t *testing.T) {
+	dir := t.TempDir()
+	writeShard(t, dir, "w0.journal", &ShardInfo{Worker: "w0", Index: 0, Total: 1, Gen: 1},
+		[][2]string{{"TH", "a.th"}})
+	fj, err := Create(filepath.Join(dir, "foreign.journal"), "2099-01", testCCs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj.Close()
+
+	g := NewMerger("", nil, nil)
+	if _, err := g.ReadJournal(filepath.Join(dir, "w0.journal")); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != "2023-05" {
+		t.Errorf("adopted epoch %q", g.Epoch())
+	}
+	// Once adopted, a mismatched journal is foreign.
+	if _, err := g.ReadJournal(filepath.Join(dir, "foreign.journal")); err == nil {
+		t.Error("merge accepted a second journal from a different epoch")
+	}
+}

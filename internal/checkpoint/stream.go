@@ -19,6 +19,9 @@ type JournalInfo struct {
 	Version   int
 	Epoch     string
 	Countries []string
+	// Shard is the federated shard descriptor from the header, nil for a
+	// whole-crawl journal (including every pre-shard journal).
+	Shard *ShardInfo
 	// Truncated reports that a torn tail (the residue of a crash
 	// mid-append) was dropped. The skipped bytes stay on disk — unlike
 	// Resume, streaming never rewrites the journal.
@@ -129,6 +132,10 @@ func StreamSites(path string,
 			info.Version = h.Version
 			info.Epoch = h.Epoch
 			info.Countries = sortedCopy(h.Countries)
+			if h.Shard != nil {
+				sh := *h.Shard
+				info.Shard = &sh
+			}
 			if onHeader != nil {
 				if err := onHeader(*info); err != nil {
 					return nil, err

@@ -1,0 +1,72 @@
+package fedcrawl
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/webdep/webdep/internal/checkpoint"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+)
+
+// BenchmarkPartition measures deriving the deterministic shard work-list
+// for a 50-country, 1000-domain-per-country campaign over 16 workers.
+func BenchmarkPartition(b *testing.B) {
+	var ccs []string
+	domains := map[string][]string{}
+	for i := 0; i < 50; i++ {
+		cc := fmt.Sprintf("C%02d", i)
+		ccs = append(ccs, cc)
+		var ds []string
+		for j := 0; j < 1000; j++ {
+			ds = append(ds, fmt.Sprintf("site-%04d.%s", j, cc))
+		}
+		domains[cc] = ds
+	}
+	of := func(cc string) []string { return domains[cc] }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if shards := Partition(ccs, of, 16); len(shards) == 0 {
+			b.Fatal("empty partition")
+		}
+	}
+}
+
+// BenchmarkMerge measures folding eight shard journals of 250 sites each
+// back into a corpus, the federated crawl's fan-in step.
+func BenchmarkMerge(b *testing.B) {
+	dir := b.TempDir()
+	ccs := []string{"TH"}
+	const workers, perWorker = 8, 250
+	for wi := 0; wi < workers; wi++ {
+		sh := &checkpoint.ShardInfo{Worker: fmt.Sprintf("w%d", wi), Index: wi, Total: workers, Gen: 1}
+		j, err := checkpoint.CreateShard(fmt.Sprintf("%s/w%d-g1.journal", dir, wi), "2023-05", ccs, sh,
+			&checkpoint.Options{Obs: obs.NewRegistry()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for si := 0; si < perWorker; si++ {
+			rank := wi*perWorker + si + 1
+			j.Append("TH", dataset.Website{
+				Domain: fmt.Sprintf("site-%04d.th", rank), Country: "TH", Rank: rank,
+				HostProvider: "host-x", DNSProvider: "dns-x", CAOwner: "ca-x", TLD: "th",
+			}, dataset.SiteOutcome{
+				Host: dataset.StatusOK, NS: dataset.StatusOK,
+				CA: dataset.StatusOK, Language: dataset.StatusOK,
+			})
+		}
+		if err := j.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Merge(dir, "2023-05", ccs, obs.NewRegistry())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Corpus.TotalSites() != workers*perWorker {
+			b.Fatalf("merged %d sites", res.Corpus.TotalSites())
+		}
+	}
+}

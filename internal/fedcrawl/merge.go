@@ -1,0 +1,299 @@
+package fedcrawl
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"github.com/webdep/webdep/internal/checkpoint"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+)
+
+// FieldDiffs counts, per probe field group, the overlap keys whose
+// complete measurements differed between vantages.
+type FieldDiffs struct {
+	Host, DNS, CA, Language int
+}
+
+// CountryDisagreement is one country's cross-vantage agreement accounting.
+type CountryDisagreement struct {
+	Country string
+	// Keys is the number of merged sites for the country.
+	Keys int
+	// Overlap counts keys probed by at least two distinct workers.
+	Overlap int
+	// Disagree counts overlap keys where any field group measured by two
+	// vantages came back different.
+	Disagree int
+	Diffs    FieldDiffs
+}
+
+// Rate is the country's disagreement rate over its overlapping probes;
+// zero when nothing overlapped.
+func (d CountryDisagreement) Rate() float64 {
+	if d.Overlap == 0 {
+		return 0
+	}
+	return float64(d.Disagree) / float64(d.Overlap)
+}
+
+// Disagreement is the per-country cross-vantage accounting of one merge.
+type Disagreement struct {
+	PerCountry []CountryDisagreement // sorted by country
+}
+
+// Of returns one country's row, or nil.
+func (d *Disagreement) Of(cc string) *CountryDisagreement {
+	for i := range d.PerCountry {
+		if d.PerCountry[i].Country == cc {
+			return &d.PerCountry[i]
+		}
+	}
+	return nil
+}
+
+// Overlap and Disagree total the per-country rows.
+func (d *Disagreement) Overlap() int {
+	n := 0
+	for _, c := range d.PerCountry {
+		n += c.Overlap
+	}
+	return n
+}
+
+func (d *Disagreement) Disagree() int {
+	n := 0
+	for _, c := range d.PerCountry {
+		n += c.Disagree
+	}
+	return n
+}
+
+// MergeResult is a reassembled corpus plus the merge's accounting.
+type MergeResult struct {
+	Corpus       *dataset.Corpus
+	Disagreement Disagreement
+	Stats        checkpoint.Stats
+	// Journals lists the folded journal paths, sorted.
+	Journals []string
+}
+
+// Merge folds every *.journal under dir into one corpus. With a non-empty
+// epoch the merge validates every journal against that campaign identity;
+// an empty epoch adopts the first journal's header (the CLI merge mode,
+// where the campaign identity lives only in the journals). Any foreign or
+// mid-file-corrupt journal fails the whole merge with a typed
+// *checkpoint.CorruptError — a merge that skipped a shard would be a
+// silently partial corpus. Torn journal tails (workers killed mid-append)
+// are tolerated exactly as Resume tolerates them.
+//
+// Per key the winner is the entry with the fewest lost fields, ties broken
+// deterministically (newest generation, then worker, then path), so the
+// merged corpus is a pure function of the journal set. Keys probed by two
+// or more distinct workers feed the disagreement accounting, which is also
+// surfaced through the registry as fedcrawl.disagreement.* counters.
+func Merge(dir, epoch string, ccs []string, reg *obs.Registry) (*MergeResult, error) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.journal"))
+	if err != nil {
+		return nil, fmt.Errorf("fedcrawl: scanning %s: %w", dir, err)
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("fedcrawl: no journals under %s", dir)
+	}
+	sort.Strings(paths)
+	g := checkpoint.NewMerger(epoch, ccs, &checkpoint.Options{Obs: reg})
+	for _, p := range paths {
+		if _, err := g.ReadJournal(p); err != nil {
+			return nil, err
+		}
+	}
+
+	type row struct {
+		site    dataset.Website
+		outcome dataset.SiteOutcome
+	}
+	perCC := map[string][]row{}
+	disagree := map[string]*CountryDisagreement{}
+	for k, list := range g.Entries() {
+		w := winner(list)
+		perCC[k.Country] = append(perCC[k.Country], row{w.Entry.Site, w.Entry.Outcome})
+		d := disagree[k.Country]
+		if d == nil {
+			d = &CountryDisagreement{Country: k.Country}
+			disagree[k.Country] = d
+		}
+		d.Keys++
+		observeOverlap(d, list)
+	}
+
+	corpus := dataset.NewCorpus(g.Epoch())
+	for _, cc := range g.Countries() {
+		rows := perCC[cc]
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("fedcrawl: merged journals hold no sites for %s; the corpus would be silently partial", cc)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].site.Rank < rows[j].site.Rank })
+		sites := make([]dataset.Website, len(rows))
+		cov := &dataset.Coverage{Country: cc}
+		for i, r := range rows {
+			if r.site.Rank != i+1 {
+				return nil, fmt.Errorf("fedcrawl: %s ranks are not contiguous: found rank %d at position %d — a shard's journals are missing",
+					cc, r.site.Rank, i+1)
+			}
+			sites[i] = r.site
+			cov.Observe(r.outcome)
+		}
+		corpus.Add(&dataset.CountryList{Country: cc, Epoch: g.Epoch(), Sites: sites})
+		corpus.SetCoverage(cov)
+	}
+
+	dis := Disagreement{}
+	for _, cc := range g.Countries() {
+		if d := disagree[cc]; d != nil {
+			dis.PerCountry = append(dis.PerCountry, *d)
+			reg.Counter("fedcrawl.disagreement.overlap." + cc).Add(int64(d.Overlap))
+			reg.Counter("fedcrawl.disagreement.differ." + cc).Add(int64(d.Disagree))
+		}
+	}
+	return &MergeResult{
+		Corpus:       corpus,
+		Disagreement: dis,
+		Stats:        g.Stats(),
+		Journals:     paths,
+	}, nil
+}
+
+// lostFields counts a probe's transiently lost field groups.
+func lostFields(o dataset.SiteOutcome) int {
+	n := 0
+	for _, s := range []dataset.FieldStatus{o.Host, o.NS, o.CA, o.Language} {
+		if s == dataset.StatusLost {
+			n++
+		}
+	}
+	return n
+}
+
+// winner picks the deterministic best entry for one key: fewest lost
+// fields, then newest generation, then worker name, then path.
+func winner(list []checkpoint.MergeEntry) checkpoint.MergeEntry {
+	best := list[0]
+	for _, e := range list[1:] {
+		if betterEntry(e, best) {
+			best = e
+		}
+	}
+	return best
+}
+
+func betterEntry(a, b checkpoint.MergeEntry) bool {
+	la, lb := lostFields(a.Entry.Outcome), lostFields(b.Entry.Outcome)
+	if la != lb {
+		return la < lb
+	}
+	ga, gb := gen(a), gen(b)
+	if ga != gb {
+		return ga > gb
+	}
+	if wa, wb := a.Source.Worker(), b.Source.Worker(); wa != wb {
+		return wa < wb
+	}
+	return a.Source.Path < b.Source.Path
+}
+
+func gen(e checkpoint.MergeEntry) int {
+	if e.Source.Shard != nil {
+		return e.Source.Shard.Gen
+	}
+	return 0
+}
+
+// observeOverlap folds one key's entry list into the country's
+// disagreement row. A key overlaps when at least two distinct workers hold
+// a record for it; for each field group, the representatives that actually
+// measured the field (status not lost) are compared, and any difference
+// marks both the field and the key as disagreeing. Same-worker journals
+// from different generations are one vantage, not an overlap.
+func observeOverlap(d *CountryDisagreement, list []checkpoint.MergeEntry) {
+	byWorker := map[string]checkpoint.MergeEntry{}
+	for _, e := range list {
+		w := e.Source.Worker()
+		if cur, ok := byWorker[w]; !ok || betterEntry(e, cur) {
+			byWorker[w] = e
+		}
+	}
+	if len(byWorker) < 2 {
+		return
+	}
+	d.Overlap++
+	reps := make([]checkpoint.MergeEntry, 0, len(byWorker))
+	for _, e := range byWorker {
+		reps = append(reps, e)
+	}
+	differs := false
+	for _, f := range fieldGroups {
+		var ref *checkpoint.MergeEntry
+		diff := false
+		for i := range reps {
+			if f.status(reps[i].Entry.Outcome) == dataset.StatusLost {
+				continue
+			}
+			if ref == nil {
+				ref = &reps[i]
+				continue
+			}
+			if !f.equal(ref.Entry.Site, reps[i].Entry.Site) {
+				diff = true
+			}
+		}
+		if diff {
+			f.count(&d.Diffs)
+			differs = true
+		}
+	}
+	if differs {
+		d.Disagree++
+	}
+}
+
+// fieldGroups maps each probe field to the Website fields it fills, so
+// disagreement is judged only between vantages that both measured the
+// field.
+var fieldGroups = []struct {
+	status func(dataset.SiteOutcome) dataset.FieldStatus
+	equal  func(a, b dataset.Website) bool
+	count  func(*FieldDiffs)
+}{
+	{
+		status: func(o dataset.SiteOutcome) dataset.FieldStatus { return o.Host },
+		equal: func(a, b dataset.Website) bool {
+			return a.HostProvider == b.HostProvider && a.HostProviderCountry == b.HostProviderCountry &&
+				a.HostIP == b.HostIP && a.HostIPContinent == b.HostIPContinent && a.HostAnycast == b.HostAnycast
+		},
+		count: func(f *FieldDiffs) { f.Host++ },
+	},
+	{
+		status: func(o dataset.SiteOutcome) dataset.FieldStatus { return o.NS },
+		equal: func(a, b dataset.Website) bool {
+			return a.DNSProvider == b.DNSProvider && a.DNSProviderCountry == b.DNSProviderCountry &&
+				a.NSIP == b.NSIP && a.NSIPContinent == b.NSIPContinent && a.NSAnycast == b.NSAnycast
+		},
+		count: func(f *FieldDiffs) { f.DNS++ },
+	},
+	{
+		status: func(o dataset.SiteOutcome) dataset.FieldStatus { return o.CA },
+		equal: func(a, b dataset.Website) bool {
+			return a.CAOwner == b.CAOwner && a.CAOwnerCountry == b.CAOwnerCountry
+		},
+		count: func(f *FieldDiffs) { f.CA++ },
+	},
+	{
+		status: func(o dataset.SiteOutcome) dataset.FieldStatus { return o.Language },
+		equal:  func(a, b dataset.Website) bool { return a.Language == b.Language },
+		count:  func(f *FieldDiffs) { f.Language++ },
+	},
+}

@@ -168,6 +168,16 @@ func (l *Live) CrawlCountry(ctx context.Context, cc, epoch string, domains []str
 	return corpus.Get(cc), nil
 }
 
+// SiteJob is one (country, domain) unit of crawl work carrying the
+// domain's global toplist rank, so a sharded crawl — probing an arbitrary
+// slice of a country's list — records the exact ranks an unsharded crawl
+// assigns. Rank is 1-based.
+type SiteJob struct {
+	Country string
+	Domain  string
+	Rank    int
+}
+
 // CrawlCorpus measures every listed country over one global worker budget:
 // all (country, domain) crawl jobs share the same pool of l.Workers
 // goroutines, so a large country cannot serialize the corpus behind it and
@@ -179,23 +189,122 @@ func (l *Live) CrawlCountry(ctx context.Context, cc, epoch string, domains []str
 // so callers may write to a shared stream without interleaving. Cancelling
 // ctx aborts the crawl promptly with the context's error.
 func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, domainsOf func(cc string) []string, progress func(cc string, sites int)) (*dataset.Corpus, error) {
+	// Flatten the per-country domain lists into one job list so the worker
+	// budget is truly global.
+	domains := make([][]string, len(ccs))
+	remaining := make([]int64, len(ccs))
+	var jobs []SiteJob
+	var ccOf, domOf []int
+	for i, cc := range ccs {
+		domains[i] = domainsOf(cc)
+		remaining[i] = int64(len(domains[i]))
+		for j, d := range domains[i] {
+			jobs = append(jobs, SiteJob{Country: cc, Domain: d, Rank: j + 1})
+			ccOf = append(ccOf, i)
+			domOf = append(domOf, j)
+		}
+	}
+
+	sites := make([][]dataset.Website, len(ccs))
+	outcomes := make([][]dataset.SiteOutcome, len(ccs))
+	for i := range ccs {
+		sites[i] = make([]dataset.Website, len(domains[i]))
+		outcomes[i] = make([]dataset.SiteOutcome, len(domains[i]))
+	}
+
+	var progressMu sync.Mutex
+	flatSites, flatOutcomes, err := l.crawlJobs(ctx, epoch, ccs, jobs, func(k int) {
+		i := ccOf[k]
+		if progress != nil && atomic.AddInt64(&remaining[i], -1) == 0 {
+			progressMu.Lock()
+			progress(ccs[i], len(sites[i]))
+			progressMu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k := range jobs {
+		sites[ccOf[k]][domOf[k]] = flatSites[k]
+		outcomes[ccOf[k]][domOf[k]] = flatOutcomes[k]
+	}
+
+	corpus := dataset.NewCorpus(epoch)
+	// Record the worker count the crawl actually ran with, not the raw
+	// (possibly zero) knob.
+	corpus.Workers = l.workerCount()
+	min := l.minCoverage()
+	for i, cc := range ccs {
+		corpus.Add(&dataset.CountryList{Country: cc, Epoch: epoch, Sites: sites[i]})
+		cov := &dataset.Coverage{Country: cc}
+		for _, o := range outcomes[i] {
+			cov.Observe(o)
+		}
+		if frac := cov.Fraction(); frac < min {
+			if l.FailFast {
+				return nil, fmt.Errorf("pipeline: country %s coverage %.3f below minimum %.3f (%d probes lost)",
+					cc, frac, min, cov.Lost())
+			}
+			cov.Degraded = true
+		}
+		corpus.SetCoverage(cov)
+	}
+	return corpus, nil
+}
+
+// CrawlJobs is the sharded entry point: it probes an explicit job list —
+// one federated worker's slice of a larger crawl — under the same engine,
+// checkpointing, and resilience wiring as CrawlCorpus, and returns the
+// sites and outcomes indexed like jobs. The countries list is the WHOLE
+// campaign's country set (it keys the checkpoint journal header), not just
+// the countries the jobs touch; every job must fall inside it. Ranks are
+// recorded exactly as given, so a merge over every worker's journals
+// reassembles the same corpus an unsharded crawl produces.
+func (l *Live) CrawlJobs(ctx context.Context, epoch string, countries []string, jobs []SiteJob) ([]dataset.Website, []dataset.SiteOutcome, error) {
+	ccSet := make(map[string]bool, len(countries))
+	for _, cc := range countries {
+		ccSet[cc] = true
+	}
+	for _, job := range jobs {
+		if !ccSet[job.Country] {
+			return nil, nil, fmt.Errorf("pipeline: job for %s/%s outside the crawl's country set %v",
+				job.Country, job.Domain, countries)
+		}
+		if job.Rank < 1 {
+			return nil, nil, fmt.Errorf("pipeline: job for %s/%s has rank %d; ranks are 1-based",
+				job.Country, job.Domain, job.Rank)
+		}
+	}
+	return l.crawlJobs(ctx, epoch, countries, jobs, nil)
+}
+
+// workerCount resolves the Workers knob to the effective pool size.
+func (l *Live) workerCount() int {
+	if l.Workers > 0 {
+		return l.Workers
+	}
+	return 8
+}
+
+// crawlJobs is the shared crawl engine: it validates the crawler, wires
+// observability and resilience, and probes every job over the global
+// worker pool, consulting and feeding the checkpoint journal. onDone (when
+// non-nil) fires after job k's result lands, on the worker's goroutine.
+func (l *Live) crawlJobs(ctx context.Context, epoch string, countries []string, jobs []SiteJob, onDone func(k int)) ([]dataset.Website, []dataset.SiteOutcome, error) {
 	if l.DNS == nil || l.Scanner == nil {
-		return nil, fmt.Errorf("pipeline: live crawl needs DNS client and TLS scanner")
+		return nil, nil, fmt.Errorf("pipeline: live crawl needs DNS client and TLS scanner")
 	}
 	if l.Checkpoint != nil {
 		// A journal from another campaign must never merge silently: the
 		// epoch and country set have to match exactly.
-		if err := l.Checkpoint.Matches(epoch, ccs); err != nil {
-			return nil, err
+		if err := l.Checkpoint.Matches(epoch, countries); err != nil {
+			return nil, nil, err
 		}
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	workers := l.Workers
-	if workers <= 0 {
-		workers = 8
-	}
+	workers := l.workerCount()
 	// Point every component at the crawl's registry before any probe runs,
 	// so one injected registry observes the whole live path; components
 	// carrying their own registry keep it.
@@ -216,83 +325,42 @@ func (l *Live) CrawlCorpus(ctx context.Context, epoch string, ccs []string, doma
 	crawlSpan := obs.StartSpan(l.reg().Timing("stage.crawl.ms"))
 	defer crawlSpan.End()
 
-	// Flatten the per-country domain lists into one job list so the worker
-	// budget is truly global.
-	domains := make([][]string, len(ccs))
-	sites := make([][]dataset.Website, len(ccs))
-	outcomes := make([][]dataset.SiteOutcome, len(ccs))
-	remaining := make([]int64, len(ccs))
-	var ccOf, domOf []int
-	for i, cc := range ccs {
-		domains[i] = domainsOf(cc)
-		sites[i] = make([]dataset.Website, len(domains[i]))
-		outcomes[i] = make([]dataset.SiteOutcome, len(domains[i]))
-		remaining[i] = int64(len(domains[i]))
-		for j := range domains[i] {
-			ccOf = append(ccOf, i)
-			domOf = append(domOf, j)
-		}
-	}
-
-	var progressMu sync.Mutex
-	err := parallel.ForEachIndexed(ctx, workers, len(ccOf), func(ctx context.Context, k int) error {
+	sites := make([]dataset.Website, len(jobs))
+	outcomes := make([]dataset.SiteOutcome, len(jobs))
+	err := parallel.ForEachIndexed(ctx, workers, len(jobs), func(ctx context.Context, k int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		i, j := ccOf[k], domOf[k]
+		job := jobs[k]
 		if l.Checkpoint != nil {
 			// Resume path: a journaled site with no transient loss is not
 			// re-probed — its stored result merges into the corpus (and
 			// its outcome into the coverage accounting) exactly as if this
 			// run had crawled it.
-			if w, o, ok := l.Checkpoint.Reuse(ccs[i], domains[i][j]); ok {
-				sites[i][j], outcomes[i][j] = w, o
-				if progress != nil && atomic.AddInt64(&remaining[i], -1) == 0 {
-					progressMu.Lock()
-					progress(ccs[i], len(sites[i]))
-					progressMu.Unlock()
+			if w, o, ok := l.Checkpoint.Reuse(job.Country, job.Domain); ok {
+				sites[k], outcomes[k] = w, o
+				if onDone != nil {
+					onDone(k)
 				}
 				return nil
 			}
 		}
-		sites[i][j], outcomes[i][j] = l.crawlOne(ctx, ccs[i], domains[i][j], j+1)
+		sites[k], outcomes[k] = l.crawlOne(ctx, job.Country, job.Domain, job.Rank)
 		if l.Checkpoint != nil {
 			// Journal the completed site before it can be lost to a crash.
 			// Append never fails the crawl: a dead checkpoint disk disarms
 			// journaling and the campaign keeps its results.
-			l.Checkpoint.Append(ccs[i], sites[i][j], outcomes[i][j])
+			l.Checkpoint.Append(job.Country, sites[k], outcomes[k])
 		}
-		if progress != nil && atomic.AddInt64(&remaining[i], -1) == 0 {
-			progressMu.Lock()
-			progress(ccs[i], len(sites[i]))
-			progressMu.Unlock()
+		if onDone != nil {
+			onDone(k)
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	corpus := dataset.NewCorpus(epoch)
-	// Record the worker count the crawl actually ran with, not the raw
-	// (possibly zero) knob.
-	corpus.Workers = workers
-	min := l.minCoverage()
-	for i, cc := range ccs {
-		corpus.Add(&dataset.CountryList{Country: cc, Epoch: epoch, Sites: sites[i]})
-		cov := &dataset.Coverage{Country: cc}
-		for _, o := range outcomes[i] {
-			cov.Observe(o)
-		}
-		if frac := cov.Fraction(); frac < min {
-			if l.FailFast {
-				return nil, fmt.Errorf("pipeline: country %s coverage %.3f below minimum %.3f (%d probes lost)",
-					cc, frac, min, cov.Lost())
-			}
-			cov.Degraded = true
-		}
-		corpus.SetCoverage(cov)
-	}
-	return corpus, nil
+	return sites, outcomes, nil
 }
 
 // outcomeOf maps a probe error onto a coverage status: authoritative

@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/webdep/webdep/internal/liveworld"
+	"github.com/webdep/webdep/internal/resolver"
+	"github.com/webdep/webdep/internal/tlsscan"
+	"github.com/webdep/webdep/internal/worldgen"
+)
+
+// jobsWorld serves a small two-country world for the sharded entry-point
+// tests.
+func jobsWorld(t *testing.T) (*worldgen.World, *liveworld.Endpoints, *Live) {
+	t.Helper()
+	w, err := worldgen.Build(worldgen.Config{
+		Seed:               41,
+		SitesPerCountry:    8,
+		Countries:          []string{"TH", "CZ"},
+		DomesticPerCountry: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := liveworld.Serve(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ep.Close() })
+	live := &Live{
+		Pipeline:       FromWorld(w),
+		DNS:            resolver.NewClient(ep.DNSAddr),
+		Scanner:        tlsscan.New(w.Owners),
+		TLSAddr:        ep.TLSAddr,
+		Workers:        4,
+		DetectLanguage: true,
+	}
+	return w, ep, live
+}
+
+// TestCrawlJobsPreservesGlobalRanks probes an interior slice of one
+// country's toplist — exactly what a federated shard worker does — and
+// requires the measured sites to be byte-identical to the same slice of a
+// whole-corpus crawl. Rank is the sensitive field: the engine must record
+// the job's global rank, not the job's position within the shard.
+func TestCrawlJobsPreservesGlobalRanks(t *testing.T) {
+	w, _, live := jobsWorld(t)
+	ccs := []string{"TH", "CZ"}
+	full, err := live.CrawlCorpus(context.Background(), "2023-05", ccs,
+		func(cc string) []string { return w.Truth.Get(cc).Domains() }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The slice starts at rank 4: a shard whose local index 0 is global
+	// rank 4 exposes any rank-from-position bug immediately.
+	domains := w.Truth.Get("TH").Domains()
+	var jobs []SiteJob
+	for j := 3; j < 6; j++ {
+		jobs = append(jobs, SiteJob{Country: "TH", Domain: domains[j], Rank: j + 1})
+	}
+	sites, outcomes, err := live.CrawlJobs(context.Background(), "2023-05", ccs, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sites) != len(jobs) || len(outcomes) != len(jobs) {
+		t.Fatalf("got %d sites / %d outcomes for %d jobs", len(sites), len(outcomes), len(jobs))
+	}
+	fullTH := full.Get("TH").Sites
+	for k, job := range jobs {
+		if sites[k].Rank != job.Rank {
+			t.Errorf("%s: shard crawl recorded rank %d, want global rank %d", job.Domain, sites[k].Rank, job.Rank)
+		}
+		if sites[k] != fullTH[job.Rank-1] {
+			t.Errorf("%s: shard crawl diverged from whole-corpus crawl:\n shard: %+v\n  full: %+v",
+				job.Domain, sites[k], fullTH[job.Rank-1])
+		}
+		if outcomes[k].Lost() {
+			t.Errorf("%s: fault-free shard crawl lost fields: %+v", job.Domain, outcomes[k])
+		}
+	}
+}
+
+// TestCrawlJobsCoverCorpus crawls the complete job list through the
+// sharded entry point and checks it reproduces every site CrawlCorpus
+// measures, country by country.
+func TestCrawlJobsCoverCorpus(t *testing.T) {
+	w, _, live := jobsWorld(t)
+	ccs := []string{"TH", "CZ"}
+	full, err := live.CrawlCorpus(context.Background(), "2023-05", ccs,
+		func(cc string) []string { return w.Truth.Get(cc).Domains() }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []SiteJob
+	for _, cc := range ccs {
+		for j, d := range w.Truth.Get(cc).Domains() {
+			jobs = append(jobs, SiteJob{Country: cc, Domain: d, Rank: j + 1})
+		}
+	}
+	sites, _, err := live.CrawlJobs(context.Background(), "2023-05", ccs, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, job := range jobs {
+		want := full.Get(job.Country).Sites[job.Rank-1]
+		if sites[k] != want {
+			t.Errorf("%s/%s: job crawl %+v, corpus crawl %+v", job.Country, job.Domain, sites[k], want)
+		}
+	}
+}
+
+// TestCrawlJobsValidatesJobs rejects jobs outside the campaign's country
+// set and jobs with impossible ranks before any probe runs.
+func TestCrawlJobsValidatesJobs(t *testing.T) {
+	_, _, live := jobsWorld(t)
+	ccs := []string{"TH", "CZ"}
+	cases := []struct {
+		name string
+		job  SiteJob
+		want string
+	}{
+		{"foreign country", SiteJob{Country: "US", Domain: "a.us", Rank: 1}, "country set"},
+		{"zero rank", SiteJob{Country: "TH", Domain: "a.th", Rank: 0}, "1-based"},
+		{"negative rank", SiteJob{Country: "TH", Domain: "a.th", Rank: -2}, "1-based"},
+	}
+	for _, tc := range cases {
+		_, _, err := live.CrawlJobs(context.Background(), "2023-05", ccs, []SiteJob{tc.job})
+		if err == nil {
+			t.Errorf("%s: job %+v accepted", tc.name, tc.job)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/webdep/webdep/internal/fedcrawl"
+)
+
+func TestDisagreementTable(t *testing.T) {
+	d := &fedcrawl.Disagreement{PerCountry: []fedcrawl.CountryDisagreement{
+		{Country: "CZ", Keys: 5, Overlap: 4, Disagree: 1,
+			Diffs: fedcrawl.FieldDiffs{Host: 1}},
+		{Country: "TH", Keys: 5, Overlap: 2, Disagree: 2,
+			Diffs: fedcrawl.FieldDiffs{Host: 1, DNS: 1, Language: 2}},
+	}}
+	var buf bytes.Buffer
+	DisagreementTable(&buf, "Cross-vantage disagreement", d)
+	out := buf.String()
+	for _, want := range []string{"Cross-vantage disagreement", "CC", "overlap", "disagree", "rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The rendered rates must agree with direct recomputation from the
+	// rows: CZ 1/4 = 25.0%, TH 2/2 = 100.0%.
+	if !strings.Contains(out, "25.0%") {
+		t.Errorf("CZ rate 25.0%% not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0%") {
+		t.Errorf("TH rate 100.0%% not rendered:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if got := len(lines); got != 5 {
+		t.Errorf("rendered %d lines, want title + rule + header + 2 rows", got)
+	}
+}
+
+func TestDisagreementTableEmpty(t *testing.T) {
+	for _, d := range []*fedcrawl.Disagreement{
+		nil,
+		{},
+		{PerCountry: []fedcrawl.CountryDisagreement{{Country: "TH", Keys: 5}}}, // keys but no overlap
+	} {
+		var buf bytes.Buffer
+		DisagreementTable(&buf, "Cross-vantage disagreement", d)
+		if !strings.Contains(buf.String(), "no overlapping probes") {
+			t.Errorf("empty table did not print its placeholder:\n%s", buf.String())
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"github.com/webdep/webdep/internal/core"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/fedcrawl"
 	"github.com/webdep/webdep/internal/obs"
 	"github.com/webdep/webdep/internal/stats"
 	"github.com/webdep/webdep/internal/tldinfo"
@@ -108,6 +109,27 @@ func CoverageTable(w io.Writer, title string, corpus *dataset.Corpus) {
 			cov.Host.Fraction()*100, cov.NS.Fraction()*100,
 			cov.CA.Fraction()*100, cov.Language.Fraction()*100,
 			cov.Lost(), status)
+	}
+}
+
+// DisagreementTable renders a federated merge's cross-vantage agreement:
+// one row per country with its merged key count, how many keys were probed
+// by two or more workers, how many of those disagreed (with per-field diff
+// counts), and the disagreement rate over the overlap. A merge with no
+// overlapping probes prints a placeholder so the section is never silently
+// blank.
+func DisagreementTable(w io.Writer, title string, d *fedcrawl.Disagreement) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if d == nil || d.Overlap() == 0 {
+		fmt.Fprintln(w, "(no overlapping probes: every key was measured by a single vantage)")
+		return
+	}
+	fmt.Fprintf(w, "%-4s %6s %8s %9s %6s %6s %6s %6s %7s\n",
+		"CC", "keys", "overlap", "disagree", "host", "dns", "ca", "lang", "rate")
+	for _, c := range d.PerCountry {
+		fmt.Fprintf(w, "%-4s %6d %8d %9d %6d %6d %6d %6d %6.1f%%\n",
+			c.Country, c.Keys, c.Overlap, c.Disagree,
+			c.Diffs.Host, c.Diffs.DNS, c.Diffs.CA, c.Diffs.Language, c.Rate()*100)
 	}
 }
 

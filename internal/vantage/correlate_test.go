@@ -1,0 +1,54 @@
+package vantage
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestCorrelateEdgeCases pins the undefined-correlation contract: inputs
+// on which Pearson's ρ degenerates to NaN must return the typed sentinel,
+// never a NaN that would poison downstream reports.
+func TestCorrelateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"empty", nil, nil},
+		{"single country", []float64{0.5}, []float64{0.4}},
+		{"two countries", []float64{0.5, 0.6}, []float64{0.4, 0.7}},
+		{"constant primary", []float64{0.5, 0.5, 0.5, 0.5}, []float64{0.1, 0.2, 0.3, 0.4}},
+		{"constant probe", []float64{0.1, 0.2, 0.3, 0.4}, []float64{0.5, 0.5, 0.5, 0.5}},
+		{"both constant", []float64{0.5, 0.5, 0.5}, []float64{0.2, 0.2, 0.2}},
+	}
+	for _, tc := range cases {
+		rho, p, err := Correlate(tc.xs, tc.ys)
+		if !errors.Is(err, ErrUndefinedCorrelation) {
+			t.Errorf("%s: err = %v, want ErrUndefinedCorrelation", tc.name, err)
+		}
+		if rho != 0 || p != 0 {
+			t.Errorf("%s: returned rho=%v p=%v alongside the error", tc.name, rho, p)
+		}
+	}
+
+	if _, _, err := Correlate([]float64{1, 2, 3}, []float64{1, 2}); errors.Is(err, ErrUndefinedCorrelation) || err == nil {
+		t.Errorf("mismatched lengths: err = %v, want a distinct length error", err)
+	}
+}
+
+// TestCorrelateWellDefined: a clean input must produce a finite ρ and
+// p-value with no error.
+func TestCorrelateWellDefined(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	ys := []float64{0.12, 0.18, 0.33, 0.39, 0.52}
+	rho, p, err := Correlate(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(rho) || math.IsNaN(p) {
+		t.Fatalf("rho=%v p=%v: NaN leaked through the guards", rho, p)
+	}
+	if rho < 0.9 {
+		t.Errorf("rho = %v for a near-linear input", rho)
+	}
+}

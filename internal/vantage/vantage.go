@@ -12,6 +12,8 @@
 package vantage
 
 import (
+	"errors"
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"net/netip"
@@ -22,6 +24,13 @@ import (
 	"github.com/webdep/webdep/internal/stats"
 	"github.com/webdep/webdep/internal/worldgen"
 )
+
+// ErrUndefinedCorrelation is returned when the probe-vs-primary score
+// vectors cannot support a correlation at all: fewer than three countries
+// (the p-value approximation divides by n-2) or a constant score vector
+// (zero variance makes ρ 0/0). Callers distinguishing "validation failed"
+// from "validation impossible on this input" match it with errors.Is.
+var ErrUndefinedCorrelation = errors.New("correlation undefined")
 
 // Options tunes the probe simulation.
 type Options struct {
@@ -115,7 +124,7 @@ func Validate(w *worldgen.World, primary *dataset.Corpus, opts Options) (*Result
 		xs = append(xs, primaryScores[cc])
 		ys = append(ys, probeScores[cc])
 	}
-	rho, err := stats.Pearson(xs, ys)
+	rho, pv, err := Correlate(xs, ys)
 	if err != nil {
 		return nil, err
 	}
@@ -123,9 +132,32 @@ func Validate(w *worldgen.World, primary *dataset.Corpus, opts Options) (*Result
 		PrimaryScores:          primaryScores,
 		ProbeScores:            probeScores,
 		Rho:                    rho,
-		PValue:                 stats.PearsonPValue(rho, len(xs)),
+		PValue:                 pv,
 		CountriesWithoutProbes: withoutProbes,
 	}, nil
+}
+
+// Correlate computes Pearson's ρ and its approximate two-sided p-value for
+// two equal-length score vectors, guarding every input on which the
+// statistic degenerates to NaN: empty or single-country vectors, fewer
+// than three points (no degrees of freedom for the p-value), and constant
+// vectors (zero variance). All of those return an error wrapping
+// ErrUndefinedCorrelation instead of quietly propagating NaN into reports.
+func Correlate(xs, ys []float64) (rho, p float64, err error) {
+	if len(xs) != len(ys) {
+		return 0, 0, fmt.Errorf("vantage: score vectors differ in length: %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) < 3 {
+		return 0, 0, fmt.Errorf("vantage: %w: %d countries, need at least 3", ErrUndefinedCorrelation, len(xs))
+	}
+	rho, perr := stats.Pearson(xs, ys)
+	if perr != nil {
+		if errors.Is(perr, stats.ErrInsufficientData) {
+			return 0, 0, fmt.Errorf("vantage: %w: a score vector is constant across countries", ErrUndefinedCorrelation)
+		}
+		return 0, 0, perr
+	}
+	return rho, stats.PearsonPValue(rho, len(xs)), nil
 }
 
 func randomAnycastProvider(w *worldgen.World, rng *rand.Rand) string {
