@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -148,7 +150,9 @@ type Stats struct {
 	// WorkerDeaths counts workers whose journal disarmed mid-crawl; a dead
 	// worker receives no further dispatches.
 	WorkerDeaths int64
-	// Stragglers counts waves cancelled by the StragglerAfter deadline.
+	// Stragglers counts waves in which the StragglerAfter deadline actually
+	// cancelled unfinished work (a deadline that fires after every worker
+	// already returned cancels nothing and is not a straggler).
 	Stragglers int64
 }
 
@@ -257,11 +261,11 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	for wave := 1; ; wave++ {
+	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		missing, err := c.scanMissing()
+		missing, maxGen, err := c.scanMissing()
 		if err != nil {
 			return nil, err
 		}
@@ -270,7 +274,12 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 		}
 		c.stats.waves.Add(1)
 		c.m.waves.Inc()
-		if err := c.runWave(ctx, wave, missing); err != nil {
+		// The wave's journal generation comes from the directory, not from a
+		// loop counter: one past the highest generation already durable. A
+		// rebuilt coordinator resuming a half-finished directory therefore
+		// never reuses a crashed run's journal names — reusing one would
+		// truncate records scanMissing just counted as complete.
+		if err := c.runWave(ctx, maxGen+1, missing); err != nil {
 			return nil, err
 		}
 	}
@@ -290,19 +299,30 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 // scanMissing folds every journal currently in the directory (a private
 // registry keeps repeated scans from inflating the user-visible merge
 // counters) and returns, per shard, the jobs with no complete — non-lost —
-// durable record. A mid-file-corrupt or foreign journal in the directory
-// fails the scan: the coordinator must not quietly crawl around evidence
-// of corruption.
-func (c *Coordinator) scanMissing() (map[int][]pipeline.SiteJob, error) {
+// durable record, plus the highest journal generation present. The
+// generation is taken from both shard headers and file names, so even a
+// journal torn before its header survived (which holds no durable records
+// but still occupies its name) pushes the next wave past it. A
+// mid-file-corrupt or foreign journal in the directory fails the scan: the
+// coordinator must not quietly crawl around evidence of corruption.
+func (c *Coordinator) scanMissing() (map[int][]pipeline.SiteJob, int, error) {
 	g := checkpoint.NewMerger(c.cfg.Epoch, c.cfg.Countries, &checkpoint.Options{Obs: obs.NewRegistry()})
 	paths, err := filepath.Glob(filepath.Join(c.cfg.Dir, "*.journal"))
 	if err != nil {
-		return nil, fmt.Errorf("fedcrawl: scanning %s: %w", c.cfg.Dir, err)
+		return nil, 0, fmt.Errorf("fedcrawl: scanning %s: %w", c.cfg.Dir, err)
 	}
 	sort.Strings(paths)
+	maxGen := 0
 	for _, p := range paths {
-		if _, err := g.ReadJournal(p); err != nil {
-			return nil, err
+		if n := genFromName(p); n > maxGen {
+			maxGen = n
+		}
+		info, err := g.ReadJournal(p)
+		if err != nil {
+			return nil, 0, err
+		}
+		if info.Shard != nil && info.Shard.Gen > maxGen {
+			maxGen = info.Shard.Gen
 		}
 	}
 	complete := map[checkpoint.Key]bool{}
@@ -322,7 +342,22 @@ func (c *Coordinator) scanMissing() (map[int][]pipeline.SiteJob, error) {
 			}
 		}
 	}
-	return missing, nil
+	return missing, maxGen, nil
+}
+
+// genFromName extracts the generation from a coordinator-named shard
+// journal ("<worker>-g<gen>.journal"); 0 when the name carries none.
+func genFromName(path string) int {
+	base := strings.TrimSuffix(filepath.Base(path), ".journal")
+	i := strings.LastIndex(base, "-g")
+	if i < 0 {
+		return 0
+	}
+	n, err := strconv.Atoi(base[i+2:])
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // alive returns the workers still eligible for dispatch, in index order.
@@ -352,9 +387,10 @@ func (c *Coordinator) killWorker(name string) {
 }
 
 // runWave assigns every still-missing shard across the surviving workers
-// and runs them concurrently, each worker journaling into a fresh
-// generation-stamped shard journal.
-func (c *Coordinator) runWave(ctx context.Context, wave int, missing map[int][]pipeline.SiteJob) error {
+// and runs them concurrently, each worker journaling into a fresh shard
+// journal stamped with gen — a generation strictly newer than every
+// journal already in the directory.
+func (c *Coordinator) runWave(ctx context.Context, gen int, missing map[int][]pipeline.SiteJob) error {
 	alive := c.alive()
 	if len(alive) == 0 {
 		return fmt.Errorf("fedcrawl: all %d workers dead with %d shards outstanding", c.cfg.Workers, len(missing))
@@ -411,11 +447,12 @@ func (c *Coordinator) runWave(ctx context.Context, wave int, missing map[int][]p
 	sort.Strings(names)
 	var wg sync.WaitGroup
 	errs := make([]error, len(names))
+	interrupted := make([]bool, len(names))
 	for i, w := range names {
 		wg.Add(1)
 		go func(i int, worker string) {
 			defer wg.Done()
-			errs[i] = c.runWorker(waveCtx, worker, wave, assign[worker])
+			interrupted[i], errs[i] = c.runWorker(waveCtx, worker, gen, assign[worker])
 		}(i, w)
 	}
 	wg.Wait()
@@ -424,21 +461,40 @@ func (c *Coordinator) runWave(ctx context.Context, wave int, missing map[int][]p
 			return err
 		}
 	}
-	if timedOut.Load() && ctx.Err() == nil {
-		// The soft deadline fired: whatever the cancelled workers left
-		// unfinished is simply still missing at the next scan.
+	cancelledWork := false
+	for _, b := range interrupted {
+		if b {
+			cancelledWork = true
+			break
+		}
+	}
+	if timedOut.Load() && cancelledWork && ctx.Err() == nil {
+		// The soft deadline fired while a worker still had jobs in flight:
+		// whatever the cancelled workers left unfinished is simply still
+		// missing at the next scan. A timer that fires in the window after
+		// every worker already returned cancelled nothing and counts no
+		// straggler.
 		c.stats.stragglers.Add(1)
 		c.m.stragglers.Inc()
 	}
 	return ctx.Err()
 }
 
+// createShard is the journal-creation seam; tests swap it to inject
+// creation failures.
+var createShard = checkpoint.CreateShard
+
 // runWorker crawls one worker's wave assignment into a fresh shard
 // journal. A journal disarm — a torn write, a dead disk, an injected
 // kill — marks the worker dead and cancels its crawl, exactly as if the
 // worker process had been killed; whatever it journaled before the tear
-// stays durable for the merge.
-func (c *Coordinator) runWorker(ctx context.Context, worker string, gen int, jobs []pipeline.SiteJob) error {
+// stays durable for the merge. A worker that cannot even create its
+// journal dies the same way: it forfeits the wave's assignment to the
+// survivors instead of failing the whole federation. The returned
+// interrupted flag reports that the crawl was cut short by wave-level
+// cancellation (the straggler deadline or the caller), as opposed to
+// finishing or dying on its own.
+func (c *Coordinator) runWorker(ctx context.Context, worker string, gen int, jobs []pipeline.SiteJob) (interrupted bool, err error) {
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	opts := &checkpoint.Options{
@@ -455,9 +511,10 @@ func (c *Coordinator) runWorker(ctx context.Context, worker string, gen int, job
 	}
 	path := filepath.Join(c.cfg.Dir, fmt.Sprintf("%s-g%d.journal", worker, gen))
 	sh := &checkpoint.ShardInfo{Worker: worker, Index: c.index[worker], Total: c.cfg.Workers, Gen: gen}
-	j, err := checkpoint.CreateShard(path, c.cfg.Epoch, c.cfg.Countries, sh, opts)
+	j, err := createShard(path, c.cfg.Epoch, c.cfg.Countries, sh, opts)
 	if err != nil {
-		return fmt.Errorf("fedcrawl: worker %s journal: %w", worker, err)
+		c.killWorker(worker)
+		return false, nil
 	}
 	defer j.Close()
 	live := c.cfg.NewLive(worker)
@@ -466,8 +523,14 @@ func (c *Coordinator) runWorker(ctx context.Context, worker string, gen int, job
 	}
 	live.Checkpoint = j
 	_, _, err = live.CrawlJobs(wctx, c.cfg.Epoch, c.cfg.Countries, jobs)
-	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-		return fmt.Errorf("fedcrawl: worker %s: %w", worker, err)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// ctx here is the wave context: its cancellation (not a disarm's
+		// worker-local cancel) is what distinguishes an interrupted wave
+		// from a worker dying mid-crawl.
+		return ctx.Err() != nil, nil
 	}
-	return nil
+	if err != nil {
+		return false, fmt.Errorf("fedcrawl: worker %s: %w", worker, err)
+	}
+	return false, nil
 }

@@ -347,6 +347,133 @@ func TestFederatedResumesLeftoverDirectory(t *testing.T) {
 	assertFedConverged(t, "leftover-resume", fedCCs, want, res.Corpus)
 }
 
+// TestFederatedResumesPartialLeftoverDirectory is the harder resume case:
+// a directory where only PART of the work-list has durable records — the
+// shape a crashed coordinator leaves behind. The rebuilt coordinator must
+// re-dispatch exactly the missing keys, and it must never reuse (and
+// thereby truncate) a leftover journal's name: the surviving journal's
+// completed records are durable state, not scratch space. The resumed run
+// deliberately uses a worker count whose first-wave journal name would
+// collide with the surviving journal under naive wave numbering.
+func TestFederatedResumesPartialLeftoverDirectory(t *testing.T) {
+	w, ep := fedWorld(t)
+	want := baseline(t, w, ep, fedCCs)
+
+	dir := t.TempDir()
+	factory := lossyFactory(w, ep.DNSAddr, ep.TLSAddr)
+	c, err := New(fedConfig(w, dir, 2, factory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crashed run: w1's journal is gone, w0's survives with
+	// roughly half the work-list complete.
+	if err := os.Remove(filepath.Join(dir, "w1-g1.journal")); err != nil {
+		t.Fatal(err)
+	}
+	survivor := filepath.Join(dir, "w0-g1.journal")
+	before, err := os.ReadFile(survivor)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with ONE worker: every re-dispatched shard lands on w0, whose
+	// generation-1 journal name is already taken by the survivor.
+	c2, err := New(fedConfig(w, dir, 1, factory))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(survivor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(before) {
+		t.Fatalf("resume rewrote the surviving journal %s (%d -> %d bytes); completed durable records were destroyed",
+			survivor, len(before), len(after))
+	}
+	// One wave re-crawls exactly the missing keys; a second wave would mean
+	// the resume destroyed records scanMissing had counted as complete.
+	if res.Stats.Waves != 1 {
+		t.Errorf("resume over a half-complete directory ran %d waves, want 1 (stats %+v)", res.Stats.Waves, res.Stats)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "w0-g2.journal")); err != nil {
+		t.Errorf("resume wave did not journal under a fresh generation: %v", err)
+	}
+	assertFedConverged(t, "partial-resume", fedCCs, want, res.Corpus)
+}
+
+// TestFederatedJournalCreateFailureIsWorkerDeath: a worker that cannot
+// even create its shard journal forfeits its assignment like any other
+// dead worker — the run converges through re-dispatch to the survivors
+// instead of failing outright.
+func TestFederatedJournalCreateFailureIsWorkerDeath(t *testing.T) {
+	w, ep := fedWorld(t)
+	want := baseline(t, w, ep, fedCCs)
+
+	orig := createShard
+	createShard = func(path, epoch string, ccs []string, sh *checkpoint.ShardInfo, opts *checkpoint.Options) (*checkpoint.Journal, error) {
+		if sh.Worker == "w1" {
+			return nil, errors.New("injected journal-creation failure")
+		}
+		return orig(path, epoch, ccs, sh, opts)
+	}
+	defer func() { createShard = orig }()
+
+	cfg := fedConfig(w, t.TempDir(), 2, lossyFactory(w, ep.DNSAddr, ep.TLSAddr))
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("a single worker's journal-creation failure failed the federation: %v", err)
+	}
+	assertFedConverged(t, "create-failure", fedCCs, want, res.Corpus)
+	st := res.Stats
+	if st.WorkerDeaths != 1 {
+		t.Errorf("worker deaths = %d, want the one create-failed worker", st.WorkerDeaths)
+	}
+	if st.Waves < 2 || st.Redispatches == 0 {
+		t.Errorf("stats = %+v: the dead worker's shards must be re-dispatched to the survivor", st)
+	}
+	if got := cfg.Obs.Counter("fedcrawl.worker_deaths").Value(); got != st.WorkerDeaths {
+		t.Errorf("obs worker_deaths = %d, stats say %d", got, st.WorkerDeaths)
+	}
+}
+
+// TestMergeRefusesAllHeaderlessJournals: a directory whose journals are
+// all torn before their headers holds no campaign identity and no records;
+// the CLI-mode merge (adopted header) must refuse it rather than export an
+// empty corpus.
+func TestMergeRefusesAllHeaderlessJournals(t *testing.T) {
+	dir := t.TempDir()
+	// A strict prefix of the magic is a torn first write — accepted by the
+	// scanner, contributing nothing. An empty file is the same.
+	if err := os.WriteFile(filepath.Join(dir, "w0-g1.journal"), []byte("WDEP"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "w1-g1.journal"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(dir, "", nil, obs.NewRegistry()); err == nil {
+		t.Fatal("adopt-mode merge over header-less journals exported a corpus")
+	} else if !strings.Contains(err.Error(), "header") {
+		t.Fatalf("refusal does not name the missing headers: %v", err)
+	}
+	// With an explicit campaign identity the per-country completeness check
+	// refuses the same directory.
+	if _, err := Merge(dir, fedEpoch, fedCCs, obs.NewRegistry()); err == nil {
+		t.Fatal("merge over header-less journals exported a corpus")
+	}
+}
+
 // TestFederatedRefusesCorruptAndForeignJournals: both the coordinator's
 // scan and the standalone merge must fail the WHOLE operation with a typed
 // *checkpoint.CorruptError when the directory holds a mid-file-corrupt or

@@ -130,6 +130,13 @@ func Merge(dir, epoch string, ccs []string, reg *obs.Registry) (*MergeResult, er
 		observeOverlap(d, list)
 	}
 
+	if len(g.Countries()) == 0 {
+		// Every journal was torn before its header survived: nothing
+		// identified the campaign and nothing contributed a record. An empty
+		// corpus here would be the silently partial corpus this merge
+		// refuses everywhere else.
+		return nil, fmt.Errorf("fedcrawl: none of the %d journals under %s contributed a header; refusing to export an empty corpus", len(paths), dir)
+	}
 	corpus := dataset.NewCorpus(g.Epoch())
 	for _, cc := range g.Countries() {
 		rows := perCC[cc]
