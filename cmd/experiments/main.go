@@ -22,6 +22,7 @@ import (
 	"github.com/webdep/webdep/internal/corpusstore"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/depgraph"
 	"github.com/webdep/webdep/internal/divergence"
 	"github.com/webdep/webdep/internal/emd"
 	"github.com/webdep/webdep/internal/pipeline"
@@ -143,6 +144,8 @@ func newHarness(seed int64, sites int, geoErr bool, subset []string, workers int
 		"tails":        {"Long-tail provider share per country (§5.1's tail comparison)", h.tails},
 		"topproviders": {"Top-10 hosting provider breakdown for the §5.1 anchor countries", h.topProviders},
 		"continents":   {"Centralization by continent (the color coding of Figures 5/17-19)", h.continents},
+		"spof":         {"Single points of failure: transitive blast-radius ranking + worst-case what-if", h.spof},
+		"transitive":   {"Transitive vs direct centralization on the provider dependency graph", h.transitive},
 	}
 	return h
 }
@@ -723,6 +726,76 @@ func (h *harness) topProviders() error {
 	}
 	fmt.Println("paper anchors: TH top provider 60%, US 29%, IR 14%; SuperHosting.BG and")
 	fmt.Println("UAB second in Bulgaria and Lithuania (22%); Japan led by Amazon.")
+	return nil
+}
+
+// spof ranks the corpus's single points of failure on the provider
+// dependency graph, annotates each with its hosting class, and simulates
+// the worst one failing — the blast-radius analysis the paper's
+// per-layer scores cannot express.
+func (h *harness) spof() error {
+	corpus, err := h.getCorpus()
+	if err != nil {
+		return err
+	}
+	cls, err := h.getClass(countries.Hosting)
+	if err != nil {
+		return err
+	}
+	spofs := analysis.TopSPOFs(corpus, 10)
+	report.SPOFTable(os.Stdout, "Top single points of failure (transitive blast radius)", spofs)
+	if len(spofs) == 0 {
+		return nil
+	}
+	fmt.Println()
+	for _, s := range spofs {
+		fmt.Printf("  %-24s hosting class %s\n", s.Provider, cls.ClassOf(s.Provider))
+	}
+	imp, err := depgraph.FromCorpus(corpus).Simulate(spofs[0].Provider)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	report.ImpactTable(os.Stdout, fmt.Sprintf("what-if: %s fails", spofs[0].Provider), imp)
+	return nil
+}
+
+// transitive compares direct per-layer centralization with the
+// transitive scores computed on the dependency graph: how much more
+// centralized each layer looks once a provider's own dependencies are
+// folded in.
+func (h *harness) transitive() error {
+	corpus, err := h.getCorpus()
+	if err != nil {
+		return err
+	}
+	g := depgraph.FromCorpus(corpus)
+	st := g.Stats()
+	fmt.Printf("provider graph: %d nodes, %d provider edges, %d site-edge columns, %d SCCs\n\n",
+		st.Nodes, st.ProviderEdges, st.SiteEdges, st.ClosureSCCs)
+	fmt.Printf("%-8s %10s %12s %10s\n", "Layer", "direct S̄", "transitive S̄", "mean Δ")
+	for _, layer := range []countries.Layer{countries.Hosting, countries.DNS, countries.CA} {
+		direct := corpus.Scores(layer)
+		trans := g.TransitiveScores(layer)
+		var dxs, txs []float64
+		for _, cc := range corpus.Countries() {
+			dxs = append(dxs, direct[cc])
+			txs = append(txs, trans[cc])
+		}
+		dm, tm := stats.Mean(dxs), stats.Mean(txs)
+		fmt.Printf("%-8s %10.4f %12.4f %+10.4f\n", layer, dm, tm, tm-dm)
+	}
+	fmt.Println()
+	rows := analysis.SortedTransitiveScores(corpus, countries.Hosting)
+	fmt.Println("most transitively centralized in hosting:")
+	for i, row := range rows {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %2d. %-4s %-24s %8.4f\n", i+1, row.Code, row.Name, row.Value)
+	}
+	fmt.Println("\ntransitive scores fold a provider's own dependencies into every site")
+	fmt.Println("that uses it; with no inferred provider edges they equal the direct scores.")
 	return nil
 }
 

@@ -10,6 +10,8 @@
 //	webdep -live -countries TH -sites 50           # crawl over real sockets
 //	webdep -out data/ -store corpus.store          # also persist the binary corpus store
 //	webdep -from-store corpus.store -out data/     # export and score a stored corpus
+//	webdep -out data/ -spof                        # rank single points of failure
+//	webdep -out data/ -what-if Cloudflare          # simulate one provider failing
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"github.com/webdep/webdep/internal/corpusstore"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/depgraph"
 	"github.com/webdep/webdep/internal/dnsserver"
 	"github.com/webdep/webdep/internal/fedcrawl"
 	"github.com/webdep/webdep/internal/liveworld"
@@ -74,6 +77,14 @@ type options struct {
 	// existing store instead.
 	Store     string
 	FromStore string
+	// SPOF ranks the corpus's single points of failure by transitive
+	// blast radius; WhatIf simulates one named provider failing and
+	// reports per-country losses. Both run on the provider dependency
+	// graph (see internal/depgraph) and work with every corpus source,
+	// including -from-store, where the graph is built by streaming the
+	// shards.
+	SPOF   bool
+	WhatIf string
 	// Stats prints the observability registry (stage timings, probe
 	// latencies, retry/breaker counters) after the run.
 	Stats bool
@@ -102,6 +113,8 @@ func main() {
 		merge     = flag.String("merge", "", "skip crawling: merge an existing directory of federated shard journals into a corpus")
 		store     = flag.String("store", "", "also persist the measured corpus as a binary sharded store at this directory")
 		fromStore = flag.String("from-store", "", "skip world building: export and score an existing corpus store")
+		spof      = flag.Bool("spof", false, "rank the corpus's top single points of failure by transitive blast radius")
+		whatIf    = flag.String("what-if", "", "simulate this provider failing and report per-country hosting/DNS/CA losses")
 		stats     = flag.Bool("stats", false, "print the observability registry (stage timings, probe latencies, retry/breaker counters) after the run")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
 	)
@@ -115,6 +128,7 @@ func main() {
 		Checkpoint: *ckpt, Resume: *resume,
 		Federate: *federate, Merge: *merge,
 		Store: *store, FromStore: *fromStore,
+		SPOF: *spof, WhatIf: *whatIf,
 		Stats: *stats, DebugAddr: *debugAddr,
 	}
 	if err := run(opts); err != nil {
@@ -262,6 +276,11 @@ func run(opts options) error {
 	}
 	if opts.Summary {
 		printSummary(corpus.ScoreSet(), corpus.CoverageByCountry)
+	}
+	if opts.wantGraph() {
+		if err := blastRadius(depgraph.FromCorpus(corpus), opts); err != nil {
+			return err
+		}
 	}
 
 	if opts.Epoch2 {
@@ -416,6 +435,11 @@ func runMerge(opts options) error {
 	if opts.Summary {
 		printSummary(res.Corpus.ScoreSet(), res.Corpus.CoverageByCountry)
 	}
+	if opts.wantGraph() {
+		if err := blastRadius(depgraph.FromCorpus(res.Corpus), opts); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -527,6 +551,37 @@ func runFromStore(opts options) error {
 			return err
 		}
 		printSummary(ss, st.Coverage())
+	}
+	if opts.wantGraph() {
+		// Build the graph by streaming the shards — like Score above, the
+		// corpus is never materialized.
+		g, err := depgraph.FromStore(st, &depgraph.Options{Workers: opts.Workers})
+		if err != nil {
+			return err
+		}
+		if err := blastRadius(g, opts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wantGraph reports whether any flag needs the provider dependency graph.
+func (opts options) wantGraph() bool { return opts.SPOF || opts.WhatIf != "" }
+
+// blastRadius renders the dependency-graph surfaces behind -spof and
+// -what-if. An unknown -what-if provider is a usage error, not an empty
+// table.
+func blastRadius(g *depgraph.Graph, opts options) error {
+	if opts.SPOF {
+		report.SPOFTable(os.Stdout, "single points of failure (top 10)", g.TopSPOFs(10))
+	}
+	if opts.WhatIf != "" {
+		imp, err := g.Simulate(opts.WhatIf)
+		if err != nil {
+			return err
+		}
+		report.ImpactTable(os.Stdout, fmt.Sprintf("what-if: %s fails", opts.WhatIf), imp)
 	}
 	return nil
 }

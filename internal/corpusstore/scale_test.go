@@ -15,6 +15,7 @@ import (
 	"github.com/webdep/webdep/internal/corpusstore"
 	"github.com/webdep/webdep/internal/countries"
 	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/depgraph"
 	"github.com/webdep/webdep/internal/obs"
 	"github.com/webdep/webdep/internal/pipeline"
 	"github.com/webdep/webdep/internal/worldgen"
@@ -72,8 +73,9 @@ func (hw *heapWatermark) peakMB() float64 {
 // TestScaleMillionSiteStore is the CI memory-budget scale gate: a
 // million-site world (every country the paper models, 6700 sites each) is
 // generated, enriched, and ingested into a store country by country, then
-// scored by streaming the shards — all without the corpus ever being
-// resident. The test fails if the heap watermark exceeds the budget
+// scored AND condensed into the provider dependency graph by streaming the
+// shards — all without the corpus ever being resident. The test fails if
+// the heap watermark exceeds the budget
 // (WEBDEP_SCALE_BUDGET_MB, default 400) or if streamed scores diverge from
 // a row-scan recomputation on sampled countries.
 //
@@ -137,6 +139,30 @@ func TestScaleMillionSiteStore(t *testing.T) {
 	}
 	scoreDone := time.Now()
 
+	// Build the provider dependency graph by streaming the same shards:
+	// graph construction must fit the streaming budget too — the graph is
+	// O(providers), not O(sites), so a million-site store condenses to a
+	// few hundred nodes.
+	g, err := depgraph.FromStore(st, &depgraph.Options{Obs: opts.Obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gst := g.Stats()
+	if gst.RowsScanned != wantSites {
+		t.Fatalf("graph scanned %d rows, store holds %d", gst.RowsScanned, wantSites)
+	}
+	if gst.Nodes == 0 || gst.ProviderEdges == 0 {
+		t.Fatalf("million-site graph is degenerate: %d nodes, %d provider edges", gst.Nodes, gst.ProviderEdges)
+	}
+	spofs := g.TopSPOFs(1)
+	if len(spofs) == 0 || spofs[0].Radius == 0 {
+		t.Fatal("million-site graph has no ranked SPOF")
+	}
+	if _, err := g.Simulate(spofs[0].Provider); err != nil {
+		t.Fatal(err)
+	}
+	graphDone := time.Now()
+
 	// Row-scan cross-check on a sampled subset: re-score each sampled
 	// country from its materialized rows and demand exact equality with the
 	// streamed tallies.
@@ -164,8 +190,9 @@ func TestScaleMillionSiteStore(t *testing.T) {
 	}
 
 	peakMB := hw.peakMB()
-	t.Logf("scale gate: %d sites, %d countries; ingest %.1fs, score %.1fs; heap watermark %.1f MB (budget %.0f MB)",
-		wantSites, len(ccs), ingestDone.Sub(start).Seconds(), scoreDone.Sub(ingestDone).Seconds(), peakMB, budgetMB)
+	t.Logf("scale gate: %d sites, %d countries; ingest %.1fs, score %.1fs, graph %.1fs (%d nodes, %d edges, worst SPOF %q); heap watermark %.1f MB (budget %.0f MB)",
+		wantSites, len(ccs), ingestDone.Sub(start).Seconds(), scoreDone.Sub(ingestDone).Seconds(),
+		graphDone.Sub(scoreDone).Seconds(), gst.Nodes, gst.ProviderEdges, spofs[0].Provider, peakMB, budgetMB)
 	if peakMB > budgetMB {
 		t.Fatalf("heap watermark %.1f MB exceeds the %.0f MB scale budget: the streaming path is materializing state it must not hold",
 			peakMB, budgetMB)

@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDerivedCacheLifetime pins the contract of Corpus.Derived: one build
+// per (index snapshot, key), and the cached value dies with the scoring
+// index — any corpus mutation drops every derived value.
+func TestDerivedCacheLifetime(t *testing.T) {
+	corpus := syntheticCorpus(1, []string{"TH", "US"}, 50)
+
+	builds := 0
+	build := func() any { builds++; return &builds }
+	a := corpus.Derived("test.value", build)
+	b := corpus.Derived("test.value", build)
+	if a != b || builds != 1 {
+		t.Fatalf("Derived rebuilt a cached value: %d builds", builds)
+	}
+	if v := corpus.Derived("test.other", func() any { return "other" }); v != "other" {
+		t.Fatalf("keys collide: %v", v)
+	}
+
+	corpus.Add(syntheticCorpus(2, []string{"DE"}, 50).Get("DE"))
+	c := corpus.Derived("test.value", build)
+	if c != a || builds != 2 {
+		// Same pointer by coincidence is fine; the build count is the
+		// real assertion.
+		if builds != 2 {
+			t.Fatalf("Derived survived Corpus.Add: %d builds", builds)
+		}
+	}
+
+	corpus.InvalidateScoringIndex()
+	corpus.Derived("test.value", build)
+	if builds != 3 {
+		t.Fatalf("Derived survived InvalidateScoringIndex: %d builds", builds)
+	}
+}
+
+// TestDerivedConcurrent hammers one key from many goroutines: every
+// caller must observe the same value, and the build must run once.
+func TestDerivedConcurrent(t *testing.T) {
+	corpus := syntheticCorpus(1, []string{"TH"}, 20)
+	var builds int
+	var wg sync.WaitGroup
+	results := make([]any, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = corpus.Derived("test.conc", func() any {
+				builds++ // guarded by the derived mutex
+				return new(int)
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent Derived callers saw different values")
+		}
+	}
+	if builds != 1 {
+		t.Fatalf("build ran %d times", builds)
+	}
+}

@@ -1,0 +1,369 @@
+package depgraph
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/webdep/webdep/internal/corpusstore"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+	"github.com/webdep/webdep/internal/parallel"
+)
+
+// This file is the graph construction path: a one-pass parallel
+// extraction into per-country tallies (the same shape as the columnar
+// scoring index and the streamed CountryTally), followed by a
+// deterministic single-threaded merge. Because a Tally is a pure fold
+// over website rows, the same rows produce the same graph whether they
+// came from in-memory lists, a streamed store shard, or any worker
+// count — the permutation-invariance property tests pin this down.
+
+// pairKind enumerates the observed provider co-occurrence kinds the
+// edge inference draws from.
+const (
+	pairHostDNS = iota // site's host provider observed with its DNS provider
+	pairHostCA         // site's host provider observed with its CA owner
+	pairDNSCA          // site's DNS provider observed with its CA owner
+	numPairKinds
+)
+
+// pair is an ordered provider co-occurrence key (or a provider/country
+// key in the home tally).
+type pair struct{ from, to string }
+
+// Tally accumulates one country's graph evidence: per-layer provider
+// site counts, provider co-occurrence counts, and provider-country
+// observations. Observe is the row-level unit shared by the in-memory
+// and store-streamed build paths; a Tally is not safe for concurrent use.
+type Tally struct {
+	country string
+	rows    int64
+	counts  [numGraphLayers]map[string]int64
+	pairs   [numPairKinds]map[pair]int64
+	homes   map[pair]int64 // {provider, observed country} -> observations
+}
+
+// NewTally returns an empty tally for one country.
+func NewTally(country string) *Tally {
+	t := &Tally{country: country, homes: make(map[pair]int64)}
+	for l := range t.counts {
+		t.counts[l] = make(map[string]int64)
+	}
+	for k := range t.pairs {
+		t.pairs[k] = make(map[pair]int64)
+	}
+	return t
+}
+
+// Country returns the country code the tally accumulates for.
+func (t *Tally) Country() string { return t.country }
+
+// Observe folds one website row into the tally. Empty provider fields
+// are skipped per layer — the same rule the scoring extraction applies —
+// so a layer's measured total in the graph equals the scoring index's
+// distribution mass for that (country, layer).
+func (t *Tally) Observe(w *dataset.Website) {
+	t.rows++
+	host, dns, ca := w.HostProvider, w.DNSProvider, w.CAOwner
+	if host != "" {
+		t.counts[0][host]++
+		if w.HostProviderCountry != "" {
+			t.homes[pair{host, w.HostProviderCountry}]++
+		}
+	}
+	if dns != "" {
+		t.counts[1][dns]++
+		if w.DNSProviderCountry != "" {
+			t.homes[pair{dns, w.DNSProviderCountry}]++
+		}
+	}
+	if ca != "" {
+		t.counts[2][ca]++
+		if w.CAOwnerCountry != "" {
+			t.homes[pair{ca, w.CAOwnerCountry}]++
+		}
+	}
+	if host != "" && dns != "" {
+		t.pairs[pairHostDNS][pair{host, dns}]++
+	}
+	if host != "" && ca != "" {
+		t.pairs[pairHostCA][pair{host, ca}]++
+	}
+	if dns != "" && ca != "" {
+		t.pairs[pairDNSCA][pair{dns, ca}]++
+	}
+}
+
+// FromCorpus returns the corpus's dependency graph, building it on first
+// use and caching it on the corpus's scoring-index snapshot: Add,
+// SetCoverage, and InvalidateScoringIndex drop the cached graph exactly
+// when they drop the cached scores, so a mutated corpus never serves a
+// stale graph.
+func FromCorpus(c *dataset.Corpus) *Graph {
+	return c.Derived("depgraph.graph", func() any {
+		return Build(c, &Options{Workers: c.Workers})
+	}).(*Graph)
+}
+
+// Build constructs the graph from an in-memory corpus in one parallel
+// pass over the rows (one tally per country) plus a deterministic merge.
+// Build does not consult or populate the corpus-level cache; use
+// FromCorpus for the cached path.
+func Build(c *dataset.Corpus, opts *Options) *Graph {
+	opts = opts.orDefault()
+	m := newMetrics(opts.Obs)
+	sp := obs.StartSpan(m.buildMS)
+	ccs := c.Countries()
+	tallies, err := parallel.Map(context.Background(), opts.Workers, len(ccs),
+		func(_ context.Context, i int) (*Tally, error) {
+			t := NewTally(ccs[i])
+			list := c.Lists[ccs[i]]
+			for j := range list.Sites {
+				t.Observe(&list.Sites[j])
+			}
+			return t, nil
+		})
+	if err != nil {
+		// The extraction is infallible and the context is never cancelled;
+		// mirror the scoring index's loud-failure stance rather than
+		// returning a zero graph.
+		panic(fmt.Sprintf("depgraph: corpus extraction failed: %v", err))
+	}
+	g, err := merge(tallies, m)
+	if err != nil {
+		// A corpus keys lists by country, so duplicate tallies are
+		// impossible here.
+		panic(fmt.Sprintf("depgraph: corpus merge failed: %v", err))
+	}
+	sp.End()
+	return g
+}
+
+// FromStore constructs the graph by streaming every shard of an on-disk
+// corpus store — the tallies and the graph itself are the only resident
+// state, never the corpus. The result is bit-identical to Build over the
+// materialized rows.
+func FromStore(st *corpusstore.Store, opts *Options) (*Graph, error) {
+	opts = opts.orDefault()
+	m := newMetrics(opts.Obs)
+	sp := obs.StartSpan(m.buildMS)
+	ccs := st.Countries()
+	tallies, err := parallel.Map(context.Background(), opts.Workers, len(ccs),
+		func(_ context.Context, i int) (*Tally, error) {
+			t := NewTally(ccs[i])
+			if err := st.StreamShard(ccs[i], func(w *dataset.Website) error {
+				t.Observe(w)
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			return t, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	g, err := merge(tallies, m)
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	return g, nil
+}
+
+// FromTallies merges independently accumulated per-country tallies into
+// a graph — the entry point for callers that already stream rows
+// themselves. Tallies may arrive in any order; countries must be unique.
+func FromTallies(tallies []*Tally, opts *Options) (*Graph, error) {
+	opts = opts.orDefault()
+	m := newMetrics(opts.Obs)
+	sp := obs.StartSpan(m.buildMS)
+	g, err := merge(tallies, m)
+	if err != nil {
+		return nil, err
+	}
+	sp.End()
+	return g, nil
+}
+
+// best tracks a plurality winner under the total order (count
+// descending, name ascending), which has a unique maximum — so the
+// winner is independent of map iteration order.
+type best struct {
+	name string
+	n    int64
+	ok   bool
+}
+
+func (b *best) offer(name string, n int64) {
+	if !b.ok || n > b.n || (n == b.n && name < b.name) {
+		b.name, b.n, b.ok = name, n, true
+	}
+}
+
+// merge folds sorted per-country tallies into the immutable graph:
+// symbols interned in (country, layer, rank) order, site-edge columns,
+// plurality home countries, inferred provider edges, and the transitive
+// closure. Everything downstream of the sort is single-threaded and
+// deterministic.
+func merge(tallies []*Tally, m *metrics) (*Graph, error) {
+	ts := append([]*Tally(nil), tallies...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].country < ts[j].country })
+	for i := 1; i < len(ts); i++ {
+		if ts[i].country == ts[i-1].country {
+			return nil, fmt.Errorf("depgraph: duplicate tally for country %q", ts[i].country)
+		}
+	}
+
+	g := &Graph{
+		countries: make([]string, len(ts)),
+		pos:       make(map[string]int, len(ts)),
+		ids:       make(map[string]uint32),
+		m:         m,
+	}
+	for l := range g.cols {
+		g.cols[l] = make([]siteCol, len(ts))
+	}
+
+	var rows, siteEdges int64
+	for i, t := range ts {
+		g.countries[i] = t.country
+		g.pos[t.country] = i
+		rows += t.rows
+		for l := 0; l < numGraphLayers; l++ {
+			col := buildSiteCol(t.counts[l], g)
+			g.cols[l][i] = col
+			g.layerTotal[l] += col.total
+			siteEdges += int64(len(col.syms))
+		}
+	}
+
+	// Merge the co-occurrence and home tallies corpus-wide. Integer sums
+	// are order-independent, so map iteration order cannot leak into the
+	// result.
+	var pairSum [numPairKinds]map[pair]int64
+	for k := range pairSum {
+		pairSum[k] = make(map[pair]int64)
+		for _, t := range ts {
+			for pr, n := range t.pairs[k] {
+				pairSum[k][pr] += n
+			}
+		}
+	}
+	homeSum := make(map[pair]int64)
+	for _, t := range ts {
+		for pr, n := range t.homes {
+			homeSum[pr] += n
+		}
+	}
+
+	// Plurality home country per node. Every provider in homeSum was
+	// counted in some layer column, so the symbol lookup always hits.
+	g.home = make([]string, len(g.names))
+	homeBest := make([]best, len(g.names))
+	for pr, n := range homeSum {
+		homeBest[g.ids[pr.from]].offer(pr.to, n)
+	}
+	for s := range homeBest {
+		if homeBest[s].ok {
+			g.home[s] = homeBest[s].name
+		}
+	}
+
+	// Infer provider→provider edges: for each co-occurrence kind, a
+	// provider depends on the plurality partner observed across the sites
+	// it serves. Self-pairs are excluded from the competition — a
+	// provider is never its own dependency.
+	adj := make([][]uint32, len(g.names))
+	for k := range pairSum {
+		edgeBest := make([]best, len(g.names))
+		for pr, n := range pairSum[k] {
+			if pr.from == pr.to {
+				continue
+			}
+			edgeBest[g.ids[pr.from]].offer(pr.to, n)
+		}
+		for s := range edgeBest {
+			if edgeBest[s].ok {
+				adj[s] = append(adj[s], g.ids[edgeBest[s].name])
+			}
+		}
+	}
+	var provEdges int64
+	g.edges = make([][]uint32, len(g.names))
+	for s := range adj {
+		g.edges[s] = dedupSorted(adj[s])
+		provEdges += int64(len(g.edges[s]))
+	}
+
+	var sccs int
+	g.closure, sccs = closureOf(g.edges)
+
+	g.stats.RowsScanned.Store(rows)
+	g.stats.Nodes.Store(int64(len(g.names)))
+	g.stats.SiteEdges.Store(siteEdges)
+	g.stats.ProviderEdges.Store(provEdges)
+	g.stats.ClosureSCCs.Store(int64(sccs))
+	m.builds.Inc()
+	m.rows.Add(rows)
+	m.nodes.Add(int64(len(g.names)))
+	m.siteEdges.Add(siteEdges)
+	m.provEdges.Add(provEdges)
+	m.sccs.Add(int64(sccs))
+	return g, nil
+}
+
+// buildSiteCol converts one (country, layer) tally into its columnar
+// form — providers sorted (count descending, name ascending), interned
+// in that order — growing the graph's symbol table as needed.
+func buildSiteCol(counts map[string]int64, g *Graph) siteCol {
+	names := make([]string, 0, len(counts))
+	for p := range counts {
+		names = append(names, p)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ci, cj := counts[names[i]], counts[names[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return names[i] < names[j]
+	})
+	col := siteCol{
+		syms:   make([]uint32, len(names)),
+		counts: make([]int64, len(names)),
+	}
+	for i, p := range names {
+		col.syms[i] = g.intern(p)
+		n := counts[p]
+		col.counts[i] = n
+		col.total += n
+	}
+	return col
+}
+
+// intern returns the symbol for a provider name, assigning the next
+// dense id on first use.
+func (g *Graph) intern(name string) uint32 {
+	if s, ok := g.ids[name]; ok {
+		return s
+	}
+	s := uint32(len(g.names))
+	g.ids[name] = s
+	g.names = append(g.names, name)
+	return s
+}
+
+// dedupSorted sorts a small symbol list and removes duplicates in place.
+func dedupSorted(syms []uint32) []uint32 {
+	if len(syms) < 2 {
+		return syms
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+	out := syms[:1]
+	for _, s := range syms[1:] {
+		if s != out[len(out)-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

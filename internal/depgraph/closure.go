@@ -1,0 +1,131 @@
+package depgraph
+
+import "math/bits"
+
+// This file computes the transitive closure of the provider edge set.
+// The graph may contain cycles (two providers observed behind each
+// other), so the closure runs on the SCC condensation: Tarjan's
+// algorithm emits components in reverse topological order, which means a
+// component's successors are always finished first and its closure is
+// its members united with its successors' already-computed closures —
+// one pass, no fixpoint iteration, cycle-safe by construction. Nodes in
+// the same component share one closure bitset.
+
+// bitset is a fixed-width set of node symbols. All bitsets over one
+// graph have the same word length, so orInto never reallocates.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i uint32)      { b[i>>6] |= 1 << (i & 63) }
+func (b bitset) has(i uint32) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+
+// orInto unions o into b. Both must come from the same graph.
+func (b bitset) orInto(o bitset) {
+	for w := range o {
+		b[w] |= o[w]
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) equal(o bitset) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for w := range b {
+		if b[w] != o[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// members returns the set's symbols in ascending order.
+func (b bitset) members() []uint32 {
+	out := make([]uint32, 0, b.count())
+	for wi, w := range b {
+		for w != 0 {
+			out = append(out, uint32(wi*64+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// closureOf returns, for every node, the set of nodes reachable from it
+// (including itself), plus the number of strongly connected components.
+// Closing an already-closed edge set is a fixed point — the idempotence
+// property test drives this function twice to prove it.
+func closureOf(edges [][]uint32) ([]bitset, int) {
+	n := len(edges)
+	index := make([]int32, n) // Tarjan discovery index + 1; 0 = unvisited
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	comp := make([]int32, n)
+	var stack []uint32
+	var compClosure []bitset
+	var next int32
+
+	var strong func(v uint32)
+	strong = func(v uint32) {
+		next++
+		index[v], low[v] = next, next
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range edges[v] {
+			if index[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] != index[v] {
+			return
+		}
+		// v roots a component: pop its members, then union in the
+		// closures of every successor component (all already complete).
+		cl := newBitset(n)
+		cid := int32(len(compClosure))
+		var members []uint32
+		for {
+			w := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			onStack[w] = false
+			comp[w] = cid
+			cl.set(w)
+			members = append(members, w)
+			if w == v {
+				break
+			}
+		}
+		for _, u := range members {
+			for _, w := range edges[u] {
+				if comp[w] != cid {
+					cl.orInto(compClosure[comp[w]])
+				}
+			}
+		}
+		compClosure = append(compClosure, cl)
+	}
+
+	for v := 0; v < n; v++ {
+		if index[v] == 0 {
+			strong(uint32(v))
+		}
+	}
+	closure := make([]bitset, n)
+	for v := range closure {
+		closure[v] = compClosure[comp[v]]
+	}
+	return closure, len(compClosure)
+}

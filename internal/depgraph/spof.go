@@ -1,0 +1,138 @@
+package depgraph
+
+import (
+	"sort"
+
+	"github.com/webdep/webdep/internal/core"
+	"github.com/webdep/webdep/internal/countries"
+)
+
+// SPOF ranks one provider by blast radius: the total number of measured
+// site-layer bindings, corpus-wide, that are lost when it fails.
+type SPOF struct {
+	Provider string `json:"provider"`
+	// Country is the provider's plurality observed home country, or ""
+	// when the corpus never recorded one.
+	Country string `json:"country"`
+	// Sym is the provider's dense node id — part of the ranking's
+	// deterministic tie-break, and stable for one graph build.
+	Sym uint32 `json:"sym"`
+	// Radius is the absolute blast radius in site-layer bindings.
+	Radius int64 `json:"radius"`
+	// Share is Radius over all measured bindings across modeled layers.
+	Share float64 `json:"share"`
+	// Hosting, DNS, and CA are the fractions of each layer's measured
+	// bindings lost when this provider fails.
+	Hosting float64 `json:"hosting"`
+	DNS     float64 `json:"dns"`
+	CA      float64 `json:"ca"`
+}
+
+// TopSPOFs returns the n providers with the largest blast radii,
+// corpus-wide. Equal radii order deterministically by provider symbol,
+// then name — never by map or goroutine scheduling order — so report
+// output is stable across worker counts. n <= 0 or n beyond the node
+// count returns every provider.
+func (g *Graph) TopSPOFs(n int) []SPOF {
+	nodes := len(g.names)
+	// weight[l][p]: provider p's direct site bindings at layer l.
+	var weight [numGraphLayers][]int64
+	for l := range weight {
+		weight[l] = make([]int64, nodes)
+		for i := range g.cols[l] {
+			col := &g.cols[l][i]
+			for k, s := range col.syms {
+				weight[l][s] += col.counts[k]
+			}
+		}
+	}
+	// radius[l][q]: bindings lost at layer l when q fails — every
+	// provider p with q in its closure contributes its direct weight.
+	var radius [numGraphLayers][]int64
+	for l := range radius {
+		radius[l] = make([]int64, nodes)
+	}
+	for p := 0; p < nodes; p++ {
+		for _, q := range g.closure[p].members() {
+			for l := 0; l < numGraphLayers; l++ {
+				radius[l][q] += weight[l][p]
+			}
+		}
+	}
+	grand := g.layerTotal[0] + g.layerTotal[1] + g.layerTotal[2]
+	out := make([]SPOF, nodes)
+	for q := 0; q < nodes; q++ {
+		r := radius[0][q] + radius[1][q] + radius[2][q]
+		out[q] = SPOF{
+			Provider: g.names[q],
+			Country:  g.home[q],
+			Sym:      uint32(q),
+			Radius:   r,
+			Share:    frac(r, grand),
+			Hosting:  frac(radius[0][q], g.layerTotal[0]),
+			DNS:      frac(radius[1][q], g.layerTotal[1]),
+			CA:       frac(radius[2][q], g.layerTotal[2]),
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Radius != out[j].Radius {
+			return out[i].Radius > out[j].Radius
+		}
+		if out[i].Sym != out[j].Sym {
+			return out[i].Sym < out[j].Sym
+		}
+		return out[i].Provider < out[j].Provider
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+func frac(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// TransitiveDistribution returns a country's dependence distribution at
+// a layer with transitivity folded in: every measured site counts toward
+// each provider in its direct provider's closure, so a provider's mass
+// is "sites that stop working at this layer if it fails". The result is
+// a frozen core.Distribution, making transitive scores directly
+// comparable to the direct scores — with an empty provider edge set the
+// two are bit-identical. Layers the graph does not model (TLD) and
+// unknown countries return nil.
+func (g *Graph) TransitiveDistribution(cc string, layer countries.Layer) *core.Distribution {
+	l := graphLayerIndex(layer)
+	if l < 0 {
+		return nil
+	}
+	i, ok := g.pos[cc]
+	if !ok {
+		return nil
+	}
+	col := &g.cols[l][i]
+	counts := make(map[string]float64)
+	for k, s := range col.syms {
+		n := float64(col.counts[k])
+		for _, q := range g.closure[s].members() {
+			counts[g.names[q]] += n
+		}
+	}
+	return core.FromCounts(counts).Freeze()
+}
+
+// TransitiveScores returns every country's transitive dependence score
+// at a layer. Layers the graph does not model return nil.
+func (g *Graph) TransitiveScores(layer countries.Layer) map[string]float64 {
+	if graphLayerIndex(layer) < 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(g.countries))
+	for _, cc := range g.countries {
+		out[cc] = g.TransitiveDistribution(cc, layer).Score()
+	}
+	return out
+}

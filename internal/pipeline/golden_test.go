@@ -9,6 +9,7 @@ import (
 
 	"github.com/webdep/webdep/internal/classify"
 	"github.com/webdep/webdep/internal/countries"
+	"github.com/webdep/webdep/internal/dataset"
 	"github.com/webdep/webdep/internal/worldgen"
 )
 
@@ -48,10 +49,9 @@ type goldenFile struct {
 	Classes            map[string]map[string]string `json:"classes"` // layer -> provider -> class
 }
 
-// measureGolden runs the frozen world through the full pipeline and
-// serializes scores with strconv-exact float formatting ('g', -1), so any
-// drift — even in the last ulp — changes the JSON.
-func measureGolden(t *testing.T, workers int) *goldenFile {
+// goldenCorpus measures the frozen golden world in memory — the shared
+// fixture for both the score and the SPOF golden gates.
+func goldenCorpus(t *testing.T, workers int) *dataset.Corpus {
 	t.Helper()
 	w, err := worldgen.Build(worldgen.Config{
 		Seed:               goldenSeed,
@@ -68,6 +68,15 @@ func measureGolden(t *testing.T, workers int) *goldenFile {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return corpus
+}
+
+// measureGolden runs the frozen world through the full pipeline and
+// serializes scores with strconv-exact float formatting ('g', -1), so any
+// drift — even in the last ulp — changes the JSON.
+func measureGolden(t *testing.T, workers int) *goldenFile {
+	t.Helper()
+	corpus := goldenCorpus(t, workers)
 	g := &goldenFile{
 		Seed:               goldenSeed,
 		SitesPerCountry:    goldenSites,

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/webdep/webdep/internal/depgraph"
+)
+
+// SPOFTable renders a ranked single-point-of-failure listing: provider,
+// home country, absolute blast radius in site-layer bindings, its share
+// of all measured bindings, and the per-layer loss fractions. An empty
+// ranking (a corpus with no measured providers) prints a placeholder so
+// -spof output is never silently blank.
+func SPOFTable(w io.Writer, title string, spofs []depgraph.SPOF) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if len(spofs) == 0 {
+		fmt.Fprintln(w, "(no providers measured: corpus is empty at every modeled layer)")
+		return
+	}
+	fmt.Fprintf(w, "%4s  %-24s %-4s %9s %7s %7s %7s %7s\n",
+		"Rank", "Provider", "HQ", "radius", "share", "host", "dns", "ca")
+	for i, s := range spofs {
+		hq := s.Country
+		if hq == "" {
+			hq = "-"
+		}
+		fmt.Fprintf(w, "%4d  %-24s %-4s %9d %6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+			i+1, trunc(s.Provider, 24), hq, s.Radius,
+			s.Share*100, s.Hosting*100, s.DNS*100, s.CA*100)
+	}
+}
+
+// ImpactTable renders one what-if simulation: per-country lost fractions
+// for each modeled layer, sorted country order, with the corpus-wide
+// totals last. Countries that lose nothing are still listed — "nothing
+// breaks here" is part of the answer.
+func ImpactTable(w io.Writer, title string, imp *depgraph.Impact) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if imp == nil || len(imp.Countries) == 0 {
+		fmt.Fprintln(w, "(no countries in corpus)")
+		return
+	}
+	fmt.Fprintf(w, "%-6s %18s %18s %18s\n", "CC", "hosting", "dns", "ca")
+	row := func(label string, li *depgraph.LayerImpacts) {
+		fmt.Fprintf(w, "%-6s", label)
+		for _, e := range []depgraph.LayerImpact{li.Hosting, li.DNS, li.CA} {
+			fmt.Fprintf(w, " %6.1f%% %4d/%-5d", e.Fraction()*100, e.Lost, e.Measured)
+		}
+		fmt.Fprintln(w)
+	}
+	for i := range imp.Countries {
+		ci := &imp.Countries[i]
+		row(ci.Country, &ci.Layers)
+	}
+	row("TOTAL", &imp.Total)
+}
