@@ -20,9 +20,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"github.com/webdep/webdep/internal/checkpoint"
 	"github.com/webdep/webdep/internal/corpusstore"
@@ -31,6 +33,7 @@ import (
 	"github.com/webdep/webdep/internal/depgraph"
 	"github.com/webdep/webdep/internal/dnsserver"
 	"github.com/webdep/webdep/internal/fedcrawl"
+	"github.com/webdep/webdep/internal/fedtransport"
 	"github.com/webdep/webdep/internal/liveworld"
 	"github.com/webdep/webdep/internal/obs"
 	"github.com/webdep/webdep/internal/pipeline"
@@ -91,6 +94,25 @@ type options struct {
 	// DebugAddr, when non-empty, serves /debug/vars and /debug/pprof on
 	// the given address for the duration of the run.
 	DebugAddr string
+	// ServeVantage, when non-empty, runs the process as a remote
+	// federation vantage worker instead of a coordinator: it builds the
+	// world locally, serves it over DNS and TLS, and answers signed shard
+	// assignments on the given address with signed journal artifacts.
+	// Transport is the coordinator half: one vantage base URL per
+	// -federate worker, dispatching shards over HTTP instead of crawling
+	// in-process. VantageKeys holds the HMAC keys authenticating both
+	// directions: exactly one for -serve-vantage, one shared key or one
+	// per vantage for -transport. See internal/fedtransport.
+	ServeVantage string
+	Transport    []string
+	VantageKeys  []string
+
+	// Test seams. onVantageReady, when non-nil, receives the bound
+	// address once a -serve-vantage worker is listening; vantageCtx, when
+	// non-nil, replaces the interrupt-signal context that keeps it
+	// serving. Production leaves both nil.
+	onVantageReady func(addr string)
+	vantageCtx     context.Context
 }
 
 func main() {
@@ -117,6 +139,9 @@ func main() {
 		whatIf    = flag.String("what-if", "", "simulate this provider failing and report per-country hosting/DNS/CA losses")
 		stats     = flag.Bool("stats", false, "print the observability registry (stage timings, probe latencies, retry/breaker counters) after the run")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		serveVant = flag.String("serve-vantage", "", "run as a remote federation vantage worker answering signed shard assignments on this address (requires -vantage-key)")
+		transport = flag.String("transport", "", "comma-separated vantage base URLs, one per -federate worker: dispatch shards over HTTP instead of crawling in-process")
+		vantKey   = flag.String("vantage-key", "", "comma-separated HMAC keys authenticating the federation transport: one shared key, or one per vantage")
 	)
 	flag.Parse()
 
@@ -130,6 +155,7 @@ func main() {
 		Store: *store, FromStore: *fromStore,
 		SPOF: *spof, WhatIf: *whatIf,
 		Stats: *stats, DebugAddr: *debugAddr,
+		ServeVantage: *serveVant, Transport: splitRaw(*transport), VantageKeys: splitRaw(*vantKey),
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "webdep:", err)
@@ -150,10 +176,45 @@ func splitList(s string) []string {
 	return out
 }
 
+// splitRaw splits a comma-separated list preserving case — URLs and HMAC
+// keys, unlike country codes, are case-sensitive.
+func splitRaw(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // validate rejects contradictory flag combinations up front, before any
 // expensive work (or worse, a partial output directory) can happen. Every
 // rule names both flags so the usage error reads like the fix.
 func (opts options) validate() error {
+	if opts.ServeVantage != "" {
+		switch {
+		case opts.Federate > 0:
+			return fmt.Errorf("-serve-vantage is the worker half of the transport; -federate belongs on the coordinator")
+		case len(opts.Transport) > 0:
+			return fmt.Errorf("-serve-vantage answers the transport; -transport belongs on the coordinator")
+		case opts.Merge != "":
+			return fmt.Errorf("-serve-vantage crawls on demand; it cannot be combined with -merge")
+		case opts.FromStore != "":
+			return fmt.Errorf("-serve-vantage crawls on demand; it cannot be combined with -from-store")
+		case opts.Live:
+			return fmt.Errorf("-serve-vantage always crawls over real sockets; -live is implied and must not be passed")
+		case opts.Checkpoint != "":
+			return fmt.Errorf("-serve-vantage keeps per-assignment scratch journals of its own; it cannot be combined with -checkpoint")
+		case opts.Epoch2:
+			return fmt.Errorf("-serve-vantage serves the assigned epoch; it cannot be combined with -epoch2")
+		case len(opts.VantageKeys) != 1:
+			return fmt.Errorf("-serve-vantage requires exactly one -vantage-key to sign artifacts with, got %d", len(opts.VantageKeys))
+		}
+	}
 	if opts.Checkpoint != "" && !opts.Live {
 		return fmt.Errorf("-checkpoint only applies to -live crawls")
 	}
@@ -201,6 +262,19 @@ func (opts options) validate() error {
 			return fmt.Errorf("-zones needs a generated world; it cannot be combined with -from-store")
 		}
 	}
+	if len(opts.Transport) > 0 {
+		switch {
+		case opts.Federate == 0:
+			return fmt.Errorf("-transport dispatches federated shards over HTTP; it requires -federate")
+		case len(opts.Transport) != opts.Federate:
+			return fmt.Errorf("-transport needs one vantage URL per -federate worker: got %d URLs for %d workers", len(opts.Transport), opts.Federate)
+		case len(opts.VantageKeys) != 1 && len(opts.VantageKeys) != opts.Federate:
+			return fmt.Errorf("-transport requires -vantage-key: one shared key, or one per vantage (%d), got %d", opts.Federate, len(opts.VantageKeys))
+		}
+	}
+	if len(opts.VantageKeys) > 0 && opts.ServeVantage == "" && len(opts.Transport) == 0 {
+		return fmt.Errorf("-vantage-key authenticates the federation transport; it requires -serve-vantage or -transport")
+	}
 	return nil
 }
 
@@ -220,6 +294,9 @@ func run(opts options) error {
 		defer func() {
 			report.StatsTable(os.Stderr, "observability", obs.Default().Snapshot())
 		}()
+	}
+	if opts.ServeVantage != "" {
+		return runServeVantage(opts)
 	}
 	if opts.FromStore != "" {
 		return runFromStore(opts)
@@ -354,18 +431,36 @@ func measureLive(w *worldgen.World, opts options) (*dataset.Corpus, error) {
 	return corpus, nil
 }
 
+// liveFactory builds the per-worker live crawler used by both the
+// in-process federation and the -serve-vantage worker: same pipeline, same
+// resilience policy, so a remote crawl measures exactly what a local one
+// would.
+func liveFactory(w *worldgen.World, ep *liveworld.Endpoints, workers int) func(worker string) *pipeline.Live {
+	return func(worker string) *pipeline.Live {
+		return &pipeline.Live{
+			Pipeline:       pipeline.FromWorld(w),
+			DNS:            resolver.NewClient(ep.DNSAddr),
+			Scanner:        tlsscan.New(w.Owners),
+			TLSAddr:        ep.TLSAddr,
+			Workers:        workers,
+			DetectLanguage: true,
+			Resilience:     resilience.NewPolicy(),
+		}
+	}
+}
+
 // measureFederated runs the live crawl as a federation of -federate shard
 // workers, each journaling to its own file under the -checkpoint
 // directory. The coordinator trusts only those journals: rerunning the
 // same command after a crash (or after deliberately killing it) resumes
 // from whatever the workers managed to make durable.
+//
+// With -transport, the workers are remote -serve-vantage processes: each
+// shard goes out as a signed HTTP assignment and comes back as a signed
+// journal artifact that is verified before it is admitted into the
+// directory. The durable-state contract is unchanged — the coordinator
+// still believes only what the journals on disk say.
 func measureFederated(w *worldgen.World, opts options) (*dataset.Corpus, error) {
-	fmt.Fprintln(os.Stderr, "serving world over DNS and TLS...")
-	ep, err := liveworld.Serve(w)
-	if err != nil {
-		return nil, err
-	}
-	defer ep.Close()
 	if err := os.MkdirAll(opts.Checkpoint, 0o755); err != nil {
 		return nil, err
 	}
@@ -375,17 +470,26 @@ func measureFederated(w *worldgen.World, opts options) (*dataset.Corpus, error) 
 		DomainsOf: func(cc string) []string { return w.Truth.Get(cc).Domains() },
 		Workers:   opts.Federate,
 		Dir:       opts.Checkpoint,
-		NewLive: func(worker string) *pipeline.Live {
-			return &pipeline.Live{
-				Pipeline:       pipeline.FromWorld(w),
-				DNS:            resolver.NewClient(ep.DNSAddr),
-				Scanner:        tlsscan.New(w.Owners),
-				TLSAddr:        ep.TLSAddr,
-				Workers:        opts.Workers,
-				DetectLanguage: true,
-				Resilience:     resilience.NewPolicy(),
-			}
-		},
+	}
+	var client *fedtransport.Client
+	if len(opts.Transport) > 0 {
+		// Remote vantages serve their own copy of the world (same seed);
+		// the coordinator only assigns shards and verifies what comes back.
+		var err error
+		client, err = newTransportClient(w, opts)
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		cfg.Dispatch = client.Dispatcher()
+	} else {
+		fmt.Fprintln(os.Stderr, "serving world over DNS and TLS...")
+		ep, err := liveworld.Serve(w)
+		if err != nil {
+			return nil, err
+		}
+		defer ep.Close()
+		cfg.NewLive = liveFactory(w, ep, opts.Workers)
 	}
 	if opts.Federate >= 2 {
 		// With at least two vantages available, probe every shard from a
@@ -405,8 +509,89 @@ func measureFederated(w *worldgen.World, opts options) (*dataset.Corpus, error) 
 	}
 	fmt.Fprintf(os.Stderr, "federated crawl: %d waves, %d dispatches (%d re-dispatched, %d replicas), %d journals merged\n",
 		res.Stats.Waves, res.Stats.Dispatches, res.Stats.Redispatches, res.Stats.Replicas, len(res.Journals))
+	if client != nil {
+		st := client.Stats()
+		refused := st.Refusals.Forged + st.Refusals.Truncated + st.Refusals.Replayed +
+			st.Refusals.Foreign + st.Refusals.Corrupt
+		fmt.Fprintf(os.Stderr, "transport: %d dispatches, %d artifacts admitted, %d refused, %d detached arrivals, %d worker deaths\n",
+			st.Dispatches, st.Admitted, refused, st.DetachedArrivals, st.WorkerDeaths)
+	}
 	report.DisagreementTable(os.Stderr, "cross-vantage disagreement", &res.Disagreement)
 	return res.Corpus, nil
+}
+
+// newTransportClient assembles the fedtransport client for -transport:
+// fedcrawl names its workers w0..wN-1, so URL i and key i (or the single
+// shared key) bind to worker i.
+func newTransportClient(w *worldgen.World, opts options) (*fedtransport.Client, error) {
+	workers := make([]string, opts.Federate)
+	urls := make(map[string]string, opts.Federate)
+	keys := make(map[string][]byte, opts.Federate)
+	for i := range workers {
+		name := fmt.Sprintf("w%d", i)
+		workers[i] = name
+		urls[name] = opts.Transport[i]
+		key := opts.VantageKeys[0]
+		if len(opts.VantageKeys) > 1 {
+			key = opts.VantageKeys[i]
+		}
+		keys[name] = []byte(key)
+	}
+	return fedtransport.NewClient(fedtransport.ClientConfig{
+		Workers:   workers,
+		URL:       urls,
+		Key:       keys,
+		Dir:       opts.Checkpoint,
+		Epoch:     w.Config.Epoch,
+		Countries: w.Config.Countries,
+		Obs:       obs.Default(),
+	})
+}
+
+// runServeVantage runs the process as a remote federation vantage worker:
+// it builds the same world the coordinator will assign shards from (the
+// seed is the shared contract), serves it over DNS and TLS locally, and
+// answers signed /crawl assignments with signed journal artifacts until
+// interrupted.
+func runServeVantage(opts options) error {
+	cfg := worldgen.Config{Seed: opts.Seed, SitesPerCountry: opts.Sites, Countries: opts.Countries}
+	if opts.GeoErr {
+		cfg.GeoErrorRate = 0.106
+	}
+	fmt.Fprintf(os.Stderr, "building world (seed=%d, sites=%d)...\n", opts.Seed, opts.Sites)
+	w, err := worldgen.Build(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "serving world over DNS and TLS...")
+	ep, err := liveworld.Serve(w)
+	if err != nil {
+		return err
+	}
+	defer ep.Close()
+	factory := liveFactory(w, ep, opts.Workers)
+	v, err := fedtransport.ServeVantage(opts.ServeVantage, fedtransport.VantageConfig{
+		Key:     []byte(opts.VantageKeys[0]),
+		NewLive: func() *pipeline.Live { return factory("") },
+		Obs:     obs.Default(),
+	})
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	fmt.Fprintf(os.Stderr, "vantage worker answering signed shard assignments on %s\n", v.Addr)
+	if opts.onVantageReady != nil {
+		opts.onVantageReady(v.Addr)
+	}
+	ctx := opts.vantageCtx
+	if ctx == nil {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "vantage worker shutting down")
+	return nil
 }
 
 // runMerge reassembles a corpus from an existing directory of federated

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -132,6 +133,20 @@ func TestFlagMatrixValidation(t *testing.T) {
 		{"from-store with store", options{FromStore: "s", Store: "t"}, "-store"},
 		{"from-store with epoch2", options{FromStore: "s", Epoch2: true}, "-epoch2"},
 		{"from-store with zones", options{FromStore: "s", Zones: true}, "-zones"},
+		{"serve-vantage with federate", options{ServeVantage: ":0", VantageKeys: []string{"k"}, Live: true, Checkpoint: "d", Federate: 2}, "-federate"},
+		{"serve-vantage with transport", options{ServeVantage: ":0", VantageKeys: []string{"k"}, Transport: []string{"http://v"}}, "-transport"},
+		{"serve-vantage with merge", options{ServeVantage: ":0", VantageKeys: []string{"k"}, Merge: "d"}, "-merge"},
+		{"serve-vantage with from-store", options{ServeVantage: ":0", VantageKeys: []string{"k"}, FromStore: "s"}, "-from-store"},
+		{"serve-vantage with live", options{ServeVantage: ":0", VantageKeys: []string{"k"}, Live: true}, "-live"},
+		{"serve-vantage with checkpoint", options{ServeVantage: ":0", VantageKeys: []string{"k"}, Checkpoint: "d"}, "-checkpoint"},
+		{"serve-vantage with epoch2", options{ServeVantage: ":0", VantageKeys: []string{"k"}, Epoch2: true}, "-epoch2"},
+		{"serve-vantage without key", options{ServeVantage: ":0"}, "-vantage-key"},
+		{"serve-vantage with two keys", options{ServeVantage: ":0", VantageKeys: []string{"a", "b"}}, "-vantage-key"},
+		{"transport without federate", options{Transport: []string{"http://v"}, VantageKeys: []string{"k"}}, "-federate"},
+		{"transport url count mismatch", options{Live: true, Checkpoint: "d", Federate: 2, Transport: []string{"http://v"}, VantageKeys: []string{"k"}}, "-transport"},
+		{"transport without key", options{Live: true, Checkpoint: "d", Federate: 2, Transport: []string{"http://a", "http://b"}}, "-vantage-key"},
+		{"transport with wrong key count", options{Live: true, Checkpoint: "d", Federate: 3, Transport: []string{"http://a", "http://b", "http://c"}, VantageKeys: []string{"a", "b"}}, "-vantage-key"},
+		{"vantage-key without a mode", options{VantageKeys: []string{"k"}}, "-vantage-key"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -152,6 +167,9 @@ func TestFlagMatrixValidation(t *testing.T) {
 		{Live: true, Checkpoint: "d", Federate: 3},
 		{Merge: "d", Store: "s"},
 		{FromStore: "s"},
+		{ServeVantage: ":0", VantageKeys: []string{"k"}},
+		{Live: true, Checkpoint: "d", Federate: 2, Transport: []string{"http://a", "http://b"}, VantageKeys: []string{"k"}},
+		{Live: true, Checkpoint: "d", Federate: 2, Transport: []string{"http://a", "http://b"}, VantageKeys: []string{"ka", "kb"}},
 	} {
 		if err := ok.validate(); err != nil {
 			t.Errorf("valid options %+v rejected: %v", ok, err)
@@ -189,6 +207,77 @@ func TestRunFederatedAndMerge(t *testing.T) {
 		}
 		if string(got) != string(want) {
 			t.Errorf("%s: -merge export differs from the -federate export", cc)
+		}
+	}
+}
+
+// TestRunRemoteFederation drives the remote transport end to end through
+// the CLI surface: two -serve-vantage workers (in-process here, separate
+// machines in production — the shared seed is the contract) answer a
+// -transport coordinator over real HTTP, and the resulting export must be
+// byte-identical to the same crawl federated in-process.
+func TestRunRemoteFederation(t *testing.T) {
+	base := options{Seed: 5, Sites: 12, Countries: []string{"CZ", "TH"}, Workers: 4, MinCoverage: 1}
+
+	localOut := t.TempDir()
+	local := base
+	local.Out = localOut
+	local.Live = true
+	local.Federate = 2
+	local.Checkpoint = t.TempDir()
+	if err := run(local); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two vantage workers on loopback, held up by the test seams: the
+	// ready callback reports each bound address, the context replaces the
+	// interrupt signal.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan string, 2)
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		v := base
+		v.ServeVantage = "127.0.0.1:0"
+		v.VantageKeys = []string{"shared-key"}
+		v.onVantageReady = func(addr string) { addrs <- addr }
+		v.vantageCtx = ctx
+		go func() { done <- run(v) }()
+	}
+	urls := make([]string, 2)
+	for i := range urls {
+		urls[i] = "http://" + <-addrs
+	}
+
+	remoteOut := t.TempDir()
+	remote := base
+	remote.Out = remoteOut
+	remote.Live = true
+	remote.Federate = 2
+	remote.Checkpoint = t.TempDir()
+	remote.Transport = urls
+	remote.VantageKeys = []string{"shared-key"}
+	if err := run(remote); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("vantage worker: %v", err)
+		}
+	}
+
+	for _, cc := range base.Countries {
+		want, err := os.ReadFile(filepath.Join(localOut, "2023-05", cc+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(remoteOut, "2023-05", cc+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: remote-federated export differs from the in-process export", cc)
 		}
 	}
 }

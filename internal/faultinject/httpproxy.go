@@ -1,0 +1,280 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HTTPPlan decides, per proxied request, whether and how to perturb an
+// HTTP exchange. The zero value forwards everything unchanged. Decisions
+// are deterministic functions of the request sequence number, exactly like
+// Plan's datagram/connection decisions, so tests can reason about which
+// requests fail and how.
+//
+// When several patterns match the same request the most destructive wins:
+// drop, then reset, then 5xx, then truncation.
+type HTTPPlan struct {
+	// DropFirst drops the first N requests: the connection is closed after
+	// the request is read, with no response bytes — the client sees the
+	// server hang up (EOF).
+	DropFirst int
+	// DropMod/DropModUnder drop every request whose sequence number s
+	// satisfies s % DropMod < DropModUnder. Ignored when DropMod <= 0.
+	DropMod      int
+	DropModUnder int
+	// ResetMod/ResetModUnder abort matching requests with a TCP RST
+	// (SO_LINGER 0), the brutal sibling of a drop: the client surfaces a
+	// connection-reset error instead of a clean EOF.
+	ResetMod      int
+	ResetModUnder int
+	// Fail5xxMod/Fail5xxModUnder answer matching requests with 503 without
+	// ever contacting the upstream — a proxy or load balancer melting down
+	// in front of a healthy service.
+	Fail5xxMod      int
+	Fail5xxModUnder int
+	// TruncateMod/TruncateModUnder forward matching requests upstream and
+	// relay the response's status, headers, and TRUE Content-Length, but cut
+	// the body off after TruncateBytes bytes and close the connection — the
+	// client reads a short body and must detect the unexpected EOF rather
+	// than accept a silently partial payload.
+	TruncateMod      int
+	TruncateModUnder int
+	// TruncateBytes is how many response body bytes a truncated exchange
+	// lets through.
+	TruncateBytes int
+	// Latency delays each non-dropped request before it reaches upstream.
+	Latency time.Duration
+}
+
+// httpFault is one request's fate under a plan.
+type httpFault int
+
+const (
+	faultNone httpFault = iota
+	faultDrop
+	faultReset
+	fault5xx
+	faultTruncate
+)
+
+// decide maps a zero-based request sequence number to its fault.
+func (p HTTPPlan) decide(seq int) httpFault {
+	if seq < p.DropFirst {
+		return faultDrop
+	}
+	if p.DropMod > 0 && seq%p.DropMod < p.DropModUnder {
+		return faultDrop
+	}
+	if p.ResetMod > 0 && seq%p.ResetMod < p.ResetModUnder {
+		return faultReset
+	}
+	if p.Fail5xxMod > 0 && seq%p.Fail5xxMod < p.Fail5xxModUnder {
+		return fault5xx
+	}
+	if p.TruncateMod > 0 && seq%p.TruncateMod < p.TruncateModUnder {
+		return faultTruncate
+	}
+	return faultNone
+}
+
+// HTTPStats counts an HTTP proxy's fault decisions.
+type HTTPStats struct {
+	Forwarded, Dropped, Reset, Fail5xx, Truncated int
+}
+
+// HTTPProxy forwards HTTP requests from one loopback port to an upstream
+// "host:port", injecting the plan's faults between the client and the
+// upstream. It is the transport-level counterpart of the datagram Proxy:
+// where Plan perturbs packets, HTTPPlan perturbs whole request/response
+// exchanges — which is the right granularity for a shard-dispatch
+// transport whose unit of work is one HTTP call.
+type HTTPProxy struct {
+	// Addr is the proxy's "host:port".
+	Addr string
+
+	upstream string
+	plan     HTTPPlan
+	srv      *http.Server
+	ln       net.Listener
+	client   *http.Client
+	done     chan struct{}
+
+	mu    sync.Mutex
+	seq   int
+	stats HTTPStats
+}
+
+// NewHTTP starts an HTTP fault proxy for the upstream "host:port".
+func NewHTTP(upstream string, plan HTTPPlan) (*HTTPProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: http proxy listener: %w", err)
+	}
+	p := &HTTPProxy{
+		upstream: upstream,
+		plan:     plan,
+		ln:       ln,
+		done:     make(chan struct{}),
+		client: &http.Client{
+			Transport: &http.Transport{DisableKeepAlives: true},
+			Timeout:   upstreamTimeout * 5,
+		},
+	}
+	p.Addr = ln.Addr().String()
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.handle), ReadHeaderTimeout: upstreamTimeout}
+	go func() {
+		defer close(p.done)
+		_ = p.srv.Serve(ln)
+	}()
+	return p, nil
+}
+
+// Stats snapshots the proxy's fault accounting.
+func (p *HTTPProxy) Stats() HTTPStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Close stops accepting connections and severs in-flight ones.
+func (p *HTTPProxy) Close() error {
+	err := p.srv.Close()
+	<-p.done
+	p.client.CloseIdleConnections()
+	return err
+}
+
+func (p *HTTPProxy) handle(w http.ResponseWriter, r *http.Request) {
+	p.mu.Lock()
+	seq := p.seq
+	p.seq++
+	fault := p.plan.decide(seq)
+	switch fault {
+	case faultDrop:
+		p.stats.Dropped++
+	case faultReset:
+		p.stats.Reset++
+	case fault5xx:
+		p.stats.Fail5xx++
+	case faultTruncate:
+		p.stats.Truncated++
+	default:
+		p.stats.Forwarded++
+	}
+	p.mu.Unlock()
+
+	switch fault {
+	case faultDrop:
+		p.sever(w, r, false)
+		return
+	case faultReset:
+		p.sever(w, r, true)
+		return
+	case fault5xx:
+		http.Error(w, "faultinject: injected 503", http.StatusServiceUnavailable)
+		return
+	}
+
+	if p.plan.Latency > 0 {
+		t := time.NewTimer(p.plan.Latency)
+		select {
+		case <-t.C:
+		case <-r.Context().Done():
+			t.Stop()
+			return
+		}
+	}
+
+	resp, err := p.roundTrip(r)
+	if err != nil {
+		// The upstream itself failed; surface it as a gateway error rather
+		// than inventing a fault the plan did not call for.
+		http.Error(w, "faultinject: upstream: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+
+	if fault == faultTruncate {
+		p.truncate(w, r, resp)
+		return
+	}
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// roundTrip replays the client's request against the upstream.
+func (p *HTTPProxy) roundTrip(r *http.Request) (*http.Response, error) {
+	out := r.Clone(r.Context())
+	out.URL.Scheme = "http"
+	out.URL.Host = p.upstream
+	out.Host = p.upstream
+	out.RequestURI = ""
+	return p.client.Do(out)
+}
+
+// sever hijacks the client connection and closes it without a response —
+// with SO_LINGER zero for a reset, so the close turns into an RST instead
+// of a FIN and the client reports a connection reset.
+func (p *HTTPProxy) sever(w http.ResponseWriter, r *http.Request, reset bool) {
+	// Drain the request first so the close is unambiguous: the server read
+	// everything and still said nothing.
+	_, _ = io.Copy(io.Discard, r.Body)
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("faultinject: response writer is not hijackable")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if reset {
+		if tc, ok := conn.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+	}
+	conn.Close()
+}
+
+// truncate relays the upstream response's status line, headers, and true
+// Content-Length, then cuts the body after TruncateBytes bytes and closes
+// the connection, leaving the client with a short read it must refuse.
+func (p *HTTPProxy) truncate(w http.ResponseWriter, r *http.Request, resp *http.Response) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		panic("faultinject: response writer is not hijackable")
+	}
+	conn, buf, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(buf, "HTTP/1.1 %s\r\n", resp.Status)
+	for k, vs := range resp.Header {
+		if k == "Content-Length" || k == "Transfer-Encoding" || k == "Connection" {
+			continue
+		}
+		for _, v := range vs {
+			fmt.Fprintf(buf, "%s: %s\r\n", k, v)
+		}
+	}
+	fmt.Fprintf(buf, "Content-Length: %d\r\nConnection: close\r\n\r\n", len(body))
+	cut := p.plan.TruncateBytes
+	if cut > len(body) {
+		cut = len(body)
+	}
+	_, _ = buf.Write(body[:cut])
+	_ = buf.Flush()
+}

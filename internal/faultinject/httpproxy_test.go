@@ -1,0 +1,163 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// httpBackend serves a fixed body so every proxy fault has a known
+// fault-free exchange to perturb.
+func httpBackend(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Backend", "yes")
+		_, _ = io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func httpProxyFor(t *testing.T, upstream string, plan HTTPPlan) *HTTPProxy {
+	t.Helper()
+	p, err := NewHTTP(upstream, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestHTTPProxyForwardsCleanly(t *testing.T) {
+	srv := httpBackend(t, "hello through the proxy")
+	p := httpProxyFor(t, strings.TrimPrefix(srv.URL, "http://"), HTTPPlan{})
+	resp, err := http.Get("http://" + p.Addr + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || string(body) != "hello through the proxy" {
+		t.Fatalf("body = %q, err = %v", body, err)
+	}
+	if resp.Header.Get("X-Backend") != "yes" {
+		t.Error("backend headers were not relayed")
+	}
+	if st := p.Stats(); st.Forwarded != 1 || st.Dropped+st.Reset+st.Fail5xx+st.Truncated != 0 {
+		t.Errorf("stats = %+v, want one clean forward", st)
+	}
+}
+
+func TestHTTPProxyDropAndReset(t *testing.T) {
+	srv := httpBackend(t, "x")
+	upstream := strings.TrimPrefix(srv.URL, "http://")
+
+	// Sequence 0 dropped (DropFirst), sequence 1 forwarded (1%2 ≥ 1),
+	// sequence 2 reset (2%2 < 1).
+	p := httpProxyFor(t, upstream, HTTPPlan{DropFirst: 1, ResetMod: 2, ResetModUnder: 1})
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	if _, err := client.Get("http://" + p.Addr + "/"); err == nil {
+		t.Fatal("dropped request returned a response")
+	}
+	resp, err := client.Get("http://" + p.Addr + "/")
+	if err != nil {
+		t.Fatalf("second request should forward: %v", err)
+	}
+	resp.Body.Close()
+	if _, err := client.Get("http://" + p.Addr + "/"); err == nil {
+		t.Fatal("reset request returned a response")
+	}
+	st := p.Stats()
+	if st.Dropped != 1 || st.Reset != 1 || st.Forwarded != 1 {
+		t.Errorf("stats = %+v, want 1 drop / 1 reset / 1 forward", st)
+	}
+}
+
+func TestHTTPProxyInjects5xx(t *testing.T) {
+	srv := httpBackend(t, "x")
+	p := httpProxyFor(t, strings.TrimPrefix(srv.URL, "http://"),
+		HTTPPlan{Fail5xxMod: 2, Fail5xxModUnder: 1})
+	resp, err := http.Get("http://" + p.Addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + p.Addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second request status = %d, want the clean forward", resp.StatusCode)
+	}
+}
+
+func TestHTTPProxyTruncatesBody(t *testing.T) {
+	full := strings.Repeat("payload-", 64)
+	srv := httpBackend(t, full)
+	p := httpProxyFor(t, strings.TrimPrefix(srv.URL, "http://"),
+		HTTPPlan{TruncateMod: 1, TruncateModUnder: 1, TruncateBytes: 10})
+	resp, err := http.Get("http://" + p.Addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != int64(len(full)) {
+		t.Fatalf("advertised length %d, want the TRUE length %d", resp.ContentLength, len(full))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("short body read cleanly (%d bytes); truncation must surface as an error", len(body))
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("read error = %v, want unexpected EOF", err)
+	}
+	if len(body) != 10 {
+		t.Errorf("got %d body bytes before the cut, want 10", len(body))
+	}
+	if st := p.Stats(); st.Truncated != 1 {
+		t.Errorf("stats = %+v, want one truncation", st)
+	}
+}
+
+func TestHTTPProxyLatency(t *testing.T) {
+	srv := httpBackend(t, "x")
+	const delay = 60 * time.Millisecond
+	p := httpProxyFor(t, strings.TrimPrefix(srv.URL, "http://"), HTTPPlan{Latency: delay})
+	start := time.Now()
+	resp, err := http.Get("http://" + p.Addr + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Errorf("request took %v, latency plan says at least %v", elapsed, delay)
+	}
+}
+
+// TestHTTPPlanPrecedence pins the documented most-destructive-wins order
+// when several patterns match one sequence number.
+func TestHTTPPlanPrecedence(t *testing.T) {
+	plan := HTTPPlan{
+		DropMod: 4, DropModUnder: 1,
+		ResetMod: 2, ResetModUnder: 1,
+		Fail5xxMod: 1, Fail5xxModUnder: 1,
+	}
+	want := []httpFault{faultDrop, fault5xx, faultReset, fault5xx, faultDrop}
+	for seq, f := range want {
+		if got := plan.decide(seq); got != f {
+			t.Errorf("seq %d: fault %v, want %v", seq, got, f)
+		}
+	}
+	if got := (HTTPPlan{}).decide(0); got != faultNone {
+		t.Errorf("zero plan decided %v", got)
+	}
+}

@@ -18,7 +18,6 @@ import (
 	"fmt"
 	"path/filepath"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -91,8 +90,20 @@ type Config struct {
 	Dir string
 	// NewLive builds a worker's crawler. Called once per (worker, wave);
 	// the coordinator installs the worker's shard journal as its
-	// checkpoint.
+	// checkpoint. Required unless Dispatch is set.
 	NewLive func(worker string) *pipeline.Live
+	// Dispatch, when non-nil, replaces in-process crawling entirely: the
+	// coordinator hands each wave assignment to it — typically a transport
+	// client that ships the jobs to a remote vantage and admits the
+	// returned journal artifact into Dir — instead of running NewLive
+	// itself. The contract mirrors runWorker's: return nil once the
+	// worker's journal for (worker, gen) is durably in Dir (the next scan
+	// judges completeness from the file, never from the return value); an
+	// error wrapping ErrWorkerDead to declare the worker permanently dead
+	// (its keys re-dispatch to survivors); the context's error when the
+	// wave was cancelled out from under it; any other error fails the
+	// federation.
+	Dispatch func(ctx context.Context, worker string, gen int, jobs []pipeline.SiteJob) error
 	// WrapJournal, when non-nil, wraps each worker journal's writer — the
 	// fault-injection seam (e.g. faultinject.KillWriter kills one worker
 	// at an exact journal byte). Production leaves it nil.
@@ -215,8 +226,8 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("fedcrawl: config needs at least one worker, got %d", cfg.Workers)
 	case cfg.Dir == "":
 		return nil, fmt.Errorf("fedcrawl: config needs a journal directory")
-	case cfg.NewLive == nil:
-		return nil, fmt.Errorf("fedcrawl: config needs a Live factory")
+	case cfg.NewLive == nil && cfg.Dispatch == nil:
+		return nil, fmt.Errorf("fedcrawl: config needs a Live factory or a Dispatch transport")
 	case cfg.Replicate < 0:
 		return nil, fmt.Errorf("fedcrawl: negative replication %d", cfg.Replicate)
 	}
@@ -321,7 +332,9 @@ func (c *Coordinator) scanMissing() (map[int][]pipeline.SiteJob, int, error) {
 		if err != nil {
 			return nil, 0, err
 		}
-		if info.Shard != nil && info.Shard.Gen > maxGen {
+		if info.Shard != nil && info.Shard.Gen > maxGen && info.Shard.Gen <= maxJournalGen {
+			// Header generations get the same bound as file names: a forged
+			// or insane Gen must not poison every future wave's numbering.
 			maxGen = info.Shard.Gen
 		}
 	}
@@ -345,17 +358,36 @@ func (c *Coordinator) scanMissing() (map[int][]pipeline.SiteJob, int, error) {
 	return missing, maxGen, nil
 }
 
+// maxJournalGen bounds the generations the coordinator will believe, from
+// file names and shard headers alike. Remote artifacts land in the journal
+// directory, so both channels are attacker-adjacent: a hostile name like
+// "w0-g9223372036854775807.journal" must not drive maxGen+1 into overflow
+// (or into a range where every future wave's names are absurd).
+const maxJournalGen = 1_000_000_000
+
 // genFromName extracts the generation from a coordinator-named shard
-// journal ("<worker>-g<gen>.journal"); 0 when the name carries none.
+// journal ("<worker>-g<gen>.journal"); 0 when the name carries none or the
+// suffix is not a plain bounded decimal. Parsing is deliberately stricter
+// than strconv.Atoi: digits only (no sign, no spaces), at most nine of
+// them, so hostile filenames are ignored rather than misparsed.
 func genFromName(path string) int {
 	base := strings.TrimSuffix(filepath.Base(path), ".journal")
 	i := strings.LastIndex(base, "-g")
 	if i < 0 {
 		return 0
 	}
-	n, err := strconv.Atoi(base[i+2:])
-	if err != nil || n < 0 {
+	s := base[i+2:]
+	// Nine digits keeps the value at most 999,999,999 — within
+	// maxJournalGen and nowhere near integer overflow.
+	if len(s) == 0 || len(s) > 9 {
 		return 0
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
 	}
 	return n
 }
@@ -484,6 +516,13 @@ func (c *Coordinator) runWave(ctx context.Context, gen int, missing map[int][]pi
 // creation failures.
 var createShard = checkpoint.CreateShard
 
+// ErrWorkerDead is the sentinel a Dispatch transport wraps to declare a
+// remote worker permanently dead — retries exhausted, circuit open, or a
+// forged/disarmed artifact. The coordinator treats it exactly like a
+// journal disarm: the worker is killed and its assignment forfeits to the
+// survivors, never failing the federation outright.
+var ErrWorkerDead = errors.New("fedcrawl: worker dead")
+
 // runWorker crawls one worker's wave assignment into a fresh shard
 // journal. A journal disarm — a torn write, a dead disk, an injected
 // kill — marks the worker dead and cancels its crawl, exactly as if the
@@ -495,6 +534,9 @@ var createShard = checkpoint.CreateShard
 // cancellation (the straggler deadline or the caller), as opposed to
 // finishing or dying on its own.
 func (c *Coordinator) runWorker(ctx context.Context, worker string, gen int, jobs []pipeline.SiteJob) (interrupted bool, err error) {
+	if c.cfg.Dispatch != nil {
+		return c.dispatchRemote(ctx, worker, gen, jobs)
+	}
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	opts := &checkpoint.Options{
@@ -533,4 +575,27 @@ func (c *Coordinator) runWorker(ctx context.Context, worker string, gen int, job
 		return false, fmt.Errorf("fedcrawl: worker %s: %w", worker, err)
 	}
 	return false, nil
+}
+
+// dispatchRemote hands one worker's wave assignment to the transport. The
+// outcome mapping mirrors the in-process path exactly: a nil return means
+// the worker's journal landed durably in Dir (the next scan verifies that
+// independently); ErrWorkerDead is this transport's journal disarm —
+// permanent death, assignment forfeited to the survivors; a context error
+// is wave cancellation (straggler deadline or caller), where a detached
+// transport delivery may still admit the artifact later; anything else
+// fails the federation, because the transport saw evidence it could
+// neither retry nor attribute to one worker.
+func (c *Coordinator) dispatchRemote(ctx context.Context, worker string, gen int, jobs []pipeline.SiteJob) (interrupted bool, err error) {
+	err = c.cfg.Dispatch(ctx, worker, gen, jobs)
+	switch {
+	case err == nil:
+		return false, nil
+	case errors.Is(err, ErrWorkerDead):
+		c.killWorker(worker)
+		return false, nil
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ctx.Err() != nil, nil
+	}
+	return false, fmt.Errorf("fedcrawl: worker %s: %w", worker, err)
 }

@@ -1,0 +1,132 @@
+package fedtransport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"github.com/webdep/webdep/internal/checkpoint"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/faultinject"
+	"github.com/webdep/webdep/internal/liveworld"
+	"github.com/webdep/webdep/internal/obs"
+	"github.com/webdep/webdep/internal/worldgen"
+)
+
+// benchJournal builds one shard journal with n site records, in memory.
+func benchJournal(b *testing.B, n int) []byte {
+	b.Helper()
+	dir := b.TempDir()
+	path := dir + "/w0-g1.journal"
+	sh := &checkpoint.ShardInfo{Worker: "w0", Index: 0, Total: 2, Gen: 1}
+	j, err := checkpoint.CreateShard(path, artEpoch, artCCs, sh, &checkpoint.Options{Obs: obs.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		j.Append("TH", dataset.Website{Domain: fmt.Sprintf("bench-%d.th", i), Country: "TH", Rank: i + 1},
+			dataset.SiteOutcome{Host: dataset.StatusOK, NS: dataset.StatusOK, CA: dataset.StatusOK, Language: dataset.StatusOK})
+	}
+	if err := j.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return data
+}
+
+// BenchmarkArtifactSign measures signing a 1000-record shard journal into
+// an artifact envelope.
+func BenchmarkArtifactSign(b *testing.B) {
+	journal := benchJournal(b, 1000)
+	meta := Meta{Worker: "w0", Gen: 1, Epoch: artEpoch, Countries: artCCs}
+	b.SetBytes(int64(len(journal)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteArtifact(io.Discard, artKey, meta, int64(len(journal)), bytes.NewReader(journal)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkArtifactVerify measures full verification — signature, framing,
+// and the embedded journal scan — of a 1000-record artifact.
+func BenchmarkArtifactVerify(b *testing.B) {
+	journal := benchJournal(b, 1000)
+	var buf bytes.Buffer
+	meta := Meta{Worker: "w0", Gen: 1, Epoch: artEpoch, Countries: artCCs}
+	if err := WriteArtifact(&buf, artKey, meta, int64(len(journal)), bytes.NewReader(journal)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	exp := artExpectB()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyArtifact(data, exp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func artExpectB() Expect {
+	return Expect{Key: artKey, Worker: "w0", Gen: 1, Epoch: artEpoch, Countries: artCCs}
+}
+
+// BenchmarkDispatchLoopback measures one full transport round trip —
+// signed assignment out, crawl of an empty shard, signed artifact back,
+// verification, atomic admission — against a loopback vantage behind a
+// clean proxy.
+func BenchmarkDispatchLoopback(b *testing.B) {
+	w, err := worldgen.Build(worldgen.Config{Seed: 7, SitesPerCountry: 1, Countries: []string{"CZ", "TH"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep, err := liveworld.Serve(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ep.Close()
+	key := []byte("bench-key")
+	v, err := ServeVantage("127.0.0.1:0", VantageConfig{
+		Key:     key,
+		NewLive: ftFactory(w, ep),
+		Obs:     obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer v.Close()
+	p, err := faultinject.NewHTTP(v.Addr, faultinject.HTTPPlan{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	reg := obs.NewRegistry()
+	client, err := NewClient(ClientConfig{
+		Workers:   []string{"w0"},
+		URL:       map[string]string{"w0": "http://" + p.Addr},
+		Key:       map[string][]byte{"w0": key},
+		Dir:       b.TempDir(),
+		Epoch:     artEpoch,
+		Countries: artCCs,
+		Obs:       reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	dispatch := client.Dispatcher()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dispatch(ctx, "w0", i+1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

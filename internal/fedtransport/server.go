@@ -1,0 +1,277 @@
+package fedtransport
+
+import (
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"github.com/webdep/webdep/internal/checkpoint"
+	"github.com/webdep/webdep/internal/obs"
+	"github.com/webdep/webdep/internal/pipeline"
+)
+
+// sigHeader carries the hex HMAC-SHA256 of the request body, keyed with
+// the vantage's key, on shard-assignment requests. A vantage refuses any
+// assignment whose signature does not verify — only its coordinator can
+// put it to work.
+const sigHeader = "X-Webdep-Signature"
+
+// maxAssignmentBytes bounds a shard-assignment request body.
+const maxAssignmentBytes = 1 << 26
+
+// Assignment is the coordinator's signed dispatch to one vantage: crawl
+// these jobs for this campaign, journal them under this shard identity,
+// ship the journal back signed.
+type Assignment struct {
+	Worker    string             `json:"worker"`
+	Index     int                `json:"index"`
+	Total     int                `json:"total"`
+	Gen       int                `json:"gen"`
+	Epoch     string             `json:"epoch"`
+	Countries []string           `json:"countries"`
+	Jobs      []pipeline.SiteJob `json:"jobs"`
+}
+
+// signBody is the shared assignment-signing primitive: hex HMAC-SHA256
+// over the exact request body bytes.
+func signBody(key, body []byte) string {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(body)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VantageConfig wires one remote vantage worker.
+type VantageConfig struct {
+	// Key signs every artifact this vantage ships and authenticates the
+	// assignments it accepts. Required.
+	Key []byte
+	// NewLive builds the vantage's crawl pipeline, exactly as fedcrawl's
+	// in-process workers do. The vantage owns the returned Live and sets
+	// its Checkpoint. Required.
+	NewLive func() *pipeline.Live
+	// Dir is the scratch directory for in-progress shard journals. Empty
+	// means a private temp directory, removed on Close.
+	Dir string
+	// Obs selects the metrics registry (nil means obs.Default()).
+	Obs *obs.Registry
+	// WrapJournal, when non-nil, wraps each shard journal's WriteSyncer —
+	// the same fault-injection seam fedcrawl's in-process workers expose,
+	// so tests can kill a REMOTE vantage at an exact journal offset.
+	WrapJournal func(worker string, gen int, ws checkpoint.WriteSyncer) checkpoint.WriteSyncer
+}
+
+func (cfg *VantageConfig) reg() *obs.Registry {
+	if cfg.Obs != nil {
+		return cfg.Obs
+	}
+	return obs.Default()
+}
+
+// VantageServer is a running vantage worker: an HTTP endpoint that accepts
+// signed shard assignments, crawls them through its own checkpointed
+// pipeline, and answers each with a signed journal artifact. A journal
+// disarm mid-crawl does not fail the exchange: the vantage ships whatever
+// prefix is durable, with the disarm declared in the signed meta, so the
+// coordinator can admit the partial work AND retire the worker.
+type VantageServer struct {
+	// Addr is the server's "host:port".
+	Addr string
+
+	cfg     VantageConfig
+	srv     *http.Server
+	ln      net.Listener
+	done    chan struct{}
+	seq     atomic.Int64
+	tempDir string
+
+	assignments   *obs.Counter
+	badSignatures *obs.Counter
+	artifacts     *obs.Counter
+	disarms       *obs.Counter
+}
+
+// ServeVantage starts a vantage worker on addr ("host:port", with ":0"
+// picking a free port).
+func ServeVantage(addr string, cfg VantageConfig) (*VantageServer, error) {
+	if len(cfg.Key) == 0 {
+		return nil, fmt.Errorf("fedtransport: vantage needs a signing key")
+	}
+	if cfg.NewLive == nil {
+		return nil, fmt.Errorf("fedtransport: vantage needs a Live factory")
+	}
+	v := &VantageServer{cfg: cfg, done: make(chan struct{})}
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "webdep-vantage-*")
+		if err != nil {
+			return nil, fmt.Errorf("fedtransport: vantage scratch dir: %w", err)
+		}
+		v.cfg.Dir = dir
+		v.tempDir = dir
+	}
+	reg := cfg.reg()
+	v.assignments = reg.Counter("fedtransport.vantage.assignments")
+	v.badSignatures = reg.Counter("fedtransport.vantage.bad_signatures")
+	v.artifacts = reg.Counter("fedtransport.vantage.artifacts")
+	v.disarms = reg.Counter("fedtransport.vantage.disarms")
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fedtransport: vantage listener: %w", err)
+	}
+	v.ln = ln
+	v.Addr = ln.Addr().String()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /crawl", v.handleCrawl)
+	v.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(v.done)
+		_ = v.srv.Serve(ln)
+	}()
+	return v, nil
+}
+
+// Close stops the vantage, severing in-flight exchanges (which cancels
+// their crawls through the request context), and removes its private
+// scratch directory if it created one.
+func (v *VantageServer) Close() error {
+	err := v.srv.Close()
+	<-v.done
+	if v.tempDir != "" {
+		os.RemoveAll(v.tempDir)
+	}
+	return err
+}
+
+func (v *VantageServer) handleCrawl(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxAssignmentBytes))
+	if err != nil {
+		http.Error(w, "fedtransport: reading assignment: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sig, err := hex.DecodeString(r.Header.Get(sigHeader))
+	mac := hmac.New(sha256.New, v.cfg.Key)
+	mac.Write(body)
+	if err != nil || !hmac.Equal(mac.Sum(nil), sig) {
+		v.badSignatures.Inc()
+		http.Error(w, "fedtransport: assignment signature does not verify", http.StatusForbidden)
+		return
+	}
+	var a Assignment
+	if err := json.Unmarshal(body, &a); err != nil {
+		http.Error(w, "fedtransport: undecodable assignment: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if a.Worker == "" || a.Epoch == "" || a.Gen < 1 || a.Total < 1 {
+		http.Error(w, "fedtransport: assignment is missing its shard identity", http.StatusBadRequest)
+		return
+	}
+	v.assignments.Inc()
+
+	path, meta, err := v.crawl(r.Context(), a)
+	if path != "" {
+		defer os.Remove(path)
+	}
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The coordinator hung up; there is nobody to answer.
+			return
+		}
+		http.Error(w, "fedtransport: crawl failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		http.Error(w, "fedtransport: reading journal: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		http.Error(w, "fedtransport: reading journal: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", fmt.Sprint(artifactSize(meta, st.Size())))
+	if err := WriteArtifact(w, v.cfg.Key, meta, st.Size(), f); err != nil {
+		// Headers are out; all we can do is cut the connection short, which
+		// the coordinator refuses as a truncated artifact and retries.
+		return
+	}
+	v.artifacts.Inc()
+	if meta.Disarmed {
+		v.disarms.Inc()
+	}
+}
+
+// artifactSize is the exact envelope size WriteArtifact will emit, so the
+// response can carry an honest Content-Length and a cut-short transfer is
+// detectable at the receiving end.
+func artifactSize(meta Meta, journalLen int64) int64 {
+	meta.Version = metaVersion
+	mb, _ := json.Marshal(meta)
+	return int64(len(artifactMagic)) + 8 + int64(len(mb)) + 8 + journalLen + macSize
+}
+
+// crawl runs one assignment through a fresh shard journal in the scratch
+// directory and returns the journal path plus the signed meta describing
+// it. It mirrors fedcrawl's in-process worker exactly: a journal disarm
+// cancels the crawl and is reported — not an error, because the durable
+// prefix is still worth shipping — while any other crawl failure is.
+func (v *VantageServer) crawl(ctx context.Context, a Assignment) (string, Meta, error) {
+	meta := Meta{Worker: a.Worker, Gen: a.Gen, Epoch: a.Epoch, Countries: a.Countries}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	opts := &checkpoint.Options{
+		Obs:      v.cfg.reg(),
+		OnDisarm: func(error) { cancel() },
+	}
+	if v.cfg.WrapJournal != nil {
+		opts.WrapWriter = func(ws checkpoint.WriteSyncer) checkpoint.WriteSyncer {
+			return v.cfg.WrapJournal(a.Worker, a.Gen, ws)
+		}
+	}
+	// Scratch names carry a per-request sequence so a retried dispatch of
+	// the same (worker, gen) never collides with a crawl still draining.
+	path := filepath.Join(v.cfg.Dir, fmt.Sprintf("%s-g%d-r%d.journal", a.Worker, a.Gen, v.seq.Add(1)))
+	sh := &checkpoint.ShardInfo{Worker: a.Worker, Index: a.Index, Total: a.Total, Gen: a.Gen}
+	j, err := checkpoint.CreateShard(path, a.Epoch, a.Countries, sh, opts)
+	if err != nil {
+		return "", meta, err
+	}
+	live := v.cfg.NewLive()
+	if live.Obs == nil {
+		live.Obs = v.cfg.reg()
+	}
+	live.Checkpoint = j
+	_, _, crawlErr := live.CrawlJobs(cctx, a.Epoch, a.Countries, a.Jobs)
+	disarmed := j.Err() != nil
+	closeErr := j.Close()
+	if disarmed {
+		// The journal died under the crawl. Whatever prefix reached disk is
+		// durable and signed; the disarm flag tells the coordinator this
+		// worker is done for good.
+		meta.Disarmed = true
+		return path, meta, nil
+	}
+	if crawlErr != nil {
+		if errors.Is(crawlErr, context.Canceled) || errors.Is(crawlErr, context.DeadlineExceeded) {
+			return path, meta, ctx.Err()
+		}
+		return path, meta, crawlErr
+	}
+	if closeErr != nil {
+		return path, meta, closeErr
+	}
+	return path, meta, nil
+}

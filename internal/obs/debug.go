@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -115,6 +116,9 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		if debugVarsHook != nil {
+			debugVarsHook()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
 	})
@@ -129,5 +133,23 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	return ds, nil
 }
 
-// Close shuts the debug server down.
-func (d *DebugServer) Close() error { return d.srv.Close() }
+// debugVarsHook runs at the top of each /debug/vars request. Production
+// leaves it nil; tests use it to hold a response in flight across Close.
+var debugVarsHook func()
+
+// closeGrace is how long Close waits for in-flight scrapes to finish.
+const closeGrace = 2 * time.Second
+
+// Close shuts the debug server down gracefully: new connections stop
+// immediately, and in-flight requests — a scrape of /debug/vars, a pprof
+// profile download — get a short grace period to complete instead of being
+// severed mid-response. A server still draining when the grace expires is
+// closed hard.
+func (d *DebugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return d.srv.Close()
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestDebugCloseDrainsInflightScrape pins the graceful-shutdown contract:
+// a /debug/vars response already in flight when Close is called must
+// complete in full — status 200 and a whole, parseable JSON document —
+// instead of being severed mid-body, and Close must still return nil.
+func TestDebugCloseDrainsInflightScrape(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("inflight.hits").Add(3)
+
+	entered := make(chan struct{}, 1)
+	hold := make(chan struct{})
+	debugVarsHook = func() {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
+		<-hold
+	}
+	defer func() { debugVarsHook = nil }()
+
+	ds, err := ServeDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		status int
+		body   []byte
+		err    error
+	}
+	scraped := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + ds.Addr + "/debug/vars")
+		if err != nil {
+			scraped <- scrape{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		scraped <- scrape{status: resp.StatusCode, body: body, err: err}
+	}()
+
+	// The scrape is parked inside the handler; Close now. It must wait for
+	// the response, not cut it off.
+	<-entered
+	closed := make(chan error, 1)
+	go func() { closed <- ds.Close() }()
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a response was still in flight", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(hold)
+
+	if err := <-closed; err != nil {
+		t.Fatalf("Close = %v after draining", err)
+	}
+	got := <-scraped
+	if got.err != nil {
+		t.Fatalf("in-flight scrape failed: %v", got.err)
+	}
+	if got.status != http.StatusOK {
+		t.Fatalf("in-flight scrape status = %d", got.status)
+	}
+	var out struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(got.body, &out); err != nil {
+		t.Fatalf("in-flight scrape body is not whole JSON: %v\n%s", err, got.body)
+	}
+	if out.Counters["inflight.hits"] != 3 {
+		t.Errorf("counters = %v, want inflight.hits 3", out.Counters)
+	}
+
+	// After Close, the listener is gone.
+	if _, err := http.Get("http://" + ds.Addr + "/debug/vars"); err == nil {
+		t.Error("server still answering after Close")
+	}
+}
