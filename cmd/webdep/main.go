@@ -12,6 +12,9 @@
 //	webdep -from-store corpus.store -out data/     # export and score a stored corpus
 //	webdep -out data/ -spof                        # rank single points of failure
 //	webdep -out data/ -what-if Cloudflare          # simulate one provider failing
+//	webdep -serve :8080 -countries US,DE -sites 500  # score-query daemon over an in-memory world
+//	webdep -serve :8080 -from-store corpus.store     # daemon over a stored corpus
+//	webdep -reload-store /var/webdep/generations     # daemon with SIGHUP/POST /reload epoch hot-swap
 package main
 
 import (
@@ -41,6 +44,7 @@ import (
 	"github.com/webdep/webdep/internal/resilience"
 	"github.com/webdep/webdep/internal/resolver"
 	"github.com/webdep/webdep/internal/tlsscan"
+	"github.com/webdep/webdep/internal/webdepd"
 	"github.com/webdep/webdep/internal/worldgen"
 )
 
@@ -94,6 +98,14 @@ type options struct {
 	// DebugAddr, when non-empty, serves /debug/vars and /debug/pprof on
 	// the given address for the duration of the run.
 	DebugAddr string
+	// Serve, when non-empty, runs the process as the score-query daemon
+	// (internal/webdepd) on the given address instead of exporting: the
+	// corpus source is the in-memory generated world, -from-store, or
+	// -reload-store. ReloadStore serves the newest complete store
+	// generation under a root directory and hot-swaps on SIGHUP or
+	// POST /reload; it implies -serve on localhost:8080.
+	Serve       string
+	ReloadStore string
 	// ServeVantage, when non-empty, runs the process as a remote
 	// federation vantage worker instead of a coordinator: it builds the
 	// world locally, serves it over DNS and TLS, and answers signed shard
@@ -110,9 +122,12 @@ type options struct {
 	// Test seams. onVantageReady, when non-nil, receives the bound
 	// address once a -serve-vantage worker is listening; vantageCtx, when
 	// non-nil, replaces the interrupt-signal context that keeps it
-	// serving. Production leaves both nil.
+	// serving. onServeReady and serveCtx are the same seams for -serve.
+	// Production leaves all of them nil.
 	onVantageReady func(addr string)
 	vantageCtx     context.Context
+	onServeReady   func(addr string)
+	serveCtx       context.Context
 }
 
 func main() {
@@ -139,6 +154,8 @@ func main() {
 		whatIf    = flag.String("what-if", "", "simulate this provider failing and report per-country hosting/DNS/CA losses")
 		stats     = flag.Bool("stats", false, "print the observability registry (stage timings, probe latencies, retry/breaker counters) after the run")
 		debugAddr = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address (e.g. localhost:6060) for the duration of the run")
+		serve     = flag.String("serve", "", "run the score-query daemon on this address over the chosen corpus source (in-memory world, -from-store, or -reload-store)")
+		reloadSt  = flag.String("reload-store", "", "serve the newest complete store generation under this root, hot-swapping on SIGHUP or POST /reload (implies -serve localhost:8080)")
 		serveVant = flag.String("serve-vantage", "", "run as a remote federation vantage worker answering signed shard assignments on this address (requires -vantage-key)")
 		transport = flag.String("transport", "", "comma-separated vantage base URLs, one per -federate worker: dispatch shards over HTTP instead of crawling in-process")
 		vantKey   = flag.String("vantage-key", "", "comma-separated HMAC keys authenticating the federation transport: one shared key, or one per vantage")
@@ -155,6 +172,7 @@ func main() {
 		Store: *store, FromStore: *fromStore,
 		SPOF: *spof, WhatIf: *whatIf,
 		Stats: *stats, DebugAddr: *debugAddr,
+		Serve: *serve, ReloadStore: *reloadSt,
 		ServeVantage: *serveVant, Transport: splitRaw(*transport), VantageKeys: splitRaw(*vantKey),
 	}
 	if err := run(opts); err != nil {
@@ -195,6 +213,26 @@ func splitRaw(s string) []string {
 // expensive work (or worse, a partial output directory) can happen. Every
 // rule names both flags so the usage error reads like the fix.
 func (opts options) validate() error {
+	if opts.Serve != "" || opts.ReloadStore != "" {
+		switch {
+		case opts.ServeVantage != "":
+			return fmt.Errorf("-serve answers score queries; -serve-vantage answers federation shard assignments — run one per process")
+		case opts.Live:
+			return fmt.Errorf("-serve queries an already-measured corpus; it cannot be combined with -live (crawl first, persist with -store, then serve)")
+		case opts.Merge != "":
+			return fmt.Errorf("-serve and -merge are different consumers of a corpus; merge to a -store first, then serve it")
+		case opts.ReloadStore != "" && opts.FromStore != "":
+			return fmt.Errorf("-reload-store and -from-store are mutually exclusive corpus sources")
+		case opts.Store != "":
+			return fmt.Errorf("-serve reads a corpus; -store writes one — persist in a separate run, then serve it")
+		case opts.Epoch2:
+			return fmt.Errorf("-serve answers one epoch per generation; it cannot be combined with -epoch2")
+		case opts.Zones:
+			return fmt.Errorf("-zones needs a world export run; it cannot be combined with -serve")
+		case opts.SPOF || opts.WhatIf != "":
+			return fmt.Errorf("-serve already exposes /api/spof and /api/what-if; the -spof and -what-if flags belong to export runs")
+		}
+	}
 	if opts.ServeVantage != "" {
 		switch {
 		case opts.Federate > 0:
@@ -297,6 +335,13 @@ func run(opts options) error {
 	}
 	if opts.ServeVantage != "" {
 		return runServeVantage(opts)
+	}
+	if opts.ReloadStore != "" && opts.Serve == "" {
+		// -reload-store names the corpus source; -serve is implied.
+		opts.Serve = "localhost:8080"
+	}
+	if opts.Serve != "" {
+		return runServe(opts)
 	}
 	if opts.FromStore != "" {
 		return runFromStore(opts)
@@ -591,6 +636,72 @@ func runServeVantage(opts options) error {
 	}
 	<-ctx.Done()
 	fmt.Fprintln(os.Stderr, "vantage worker shutting down")
+	return nil
+}
+
+// runServe runs the process as the score-query daemon until interrupted.
+// The corpus source is, in priority order: the -reload-store generation
+// root (hot-swappable), the -from-store store (served through the same
+// root mechanism — a bare store is its own single generation, so /reload
+// re-reads it), or a generated in-memory world measured through the fast
+// pipeline. SIGHUP triggers the same hot swap POST /reload does.
+func runServe(opts options) error {
+	cfg := webdepd.Config{Workers: opts.Workers, Obs: obs.Default()}
+	switch {
+	case opts.ReloadStore != "":
+		cfg.StoreRoot = opts.ReloadStore
+	case opts.FromStore != "":
+		cfg.StoreRoot = opts.FromStore
+	default:
+		wcfg := worldgen.Config{Seed: opts.Seed, SitesPerCountry: opts.Sites, Countries: opts.Countries}
+		if opts.GeoErr {
+			wcfg.GeoErrorRate = 0.106
+		}
+		fmt.Fprintf(os.Stderr, "building world (seed=%d, sites=%d)...\n", opts.Seed, opts.Sites)
+		w, err := worldgen.Build(wcfg)
+		if err != nil {
+			return err
+		}
+		p := pipeline.FromWorld(w)
+		p.Workers = opts.Workers
+		if cfg.Corpus, err = p.MeasureWorld(w); err != nil {
+			return err
+		}
+	}
+
+	d, err := webdepd.Start(opts.Serve, cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	label, _ := d.Generation()
+	fmt.Fprintf(os.Stderr, "webdepd answering score queries on http://%s/api/ (generation %s)\n", d.Addr, label)
+	if opts.onServeReady != nil {
+		opts.onServeReady(d.Addr)
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			label, err := d.Reload()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "webdepd: SIGHUP reload failed: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "webdepd: swapped to generation %s\n", label)
+		}
+	}()
+
+	ctx := opts.serveCtx
+	if ctx == nil {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+	<-ctx.Done()
+	fmt.Fprintln(os.Stderr, "webdepd shutting down")
 	return nil
 }
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -147,6 +149,18 @@ func TestFlagMatrixValidation(t *testing.T) {
 		{"transport without key", options{Live: true, Checkpoint: "d", Federate: 2, Transport: []string{"http://a", "http://b"}}, "-vantage-key"},
 		{"transport with wrong key count", options{Live: true, Checkpoint: "d", Federate: 3, Transport: []string{"http://a", "http://b", "http://c"}, VantageKeys: []string{"a", "b"}}, "-vantage-key"},
 		{"vantage-key without a mode", options{VantageKeys: []string{"k"}}, "-vantage-key"},
+		{"serve with live", options{Serve: ":0", Live: true}, "-live"},
+		{"serve with federate", options{Serve: ":0", Live: true, Checkpoint: "d", Federate: 2}, "-live"},
+		{"serve with merge", options{Serve: ":0", Merge: "d"}, "-merge"},
+		{"serve with serve-vantage", options{Serve: ":0", ServeVantage: ":0", VantageKeys: []string{"k"}}, "-serve-vantage"},
+		{"serve with store", options{Serve: ":0", Store: "s"}, "-store"},
+		{"serve with epoch2", options{Serve: ":0", Epoch2: true}, "-epoch2"},
+		{"serve with zones", options{Serve: ":0", Zones: true}, "-zones"},
+		{"serve with spof", options{Serve: ":0", SPOF: true}, "-spof"},
+		{"serve with what-if", options{Serve: ":0", WhatIf: "Cloudflare"}, "-what-if"},
+		{"reload-store with from-store", options{ReloadStore: "r", FromStore: "s"}, "-from-store"},
+		{"reload-store with live", options{ReloadStore: "r", Live: true}, "-live"},
+		{"reload-store with merge", options{ReloadStore: "r", Merge: "d"}, "-merge"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -170,6 +184,10 @@ func TestFlagMatrixValidation(t *testing.T) {
 		{ServeVantage: ":0", VantageKeys: []string{"k"}},
 		{Live: true, Checkpoint: "d", Federate: 2, Transport: []string{"http://a", "http://b"}, VantageKeys: []string{"k"}},
 		{Live: true, Checkpoint: "d", Federate: 2, Transport: []string{"http://a", "http://b"}, VantageKeys: []string{"ka", "kb"}},
+		{Serve: ":0"},
+		{Serve: ":0", FromStore: "s"},
+		{ReloadStore: "r"}, // implies -serve; no explicit address needed
+		{Serve: ":0", ReloadStore: "r"},
 	} {
 		if err := ok.validate(); err != nil {
 			t.Errorf("valid options %+v rejected: %v", ok, err)
@@ -279,6 +297,72 @@ func TestRunRemoteFederation(t *testing.T) {
 		if string(got) != string(want) {
 			t.Errorf("%s: remote-federated export differs from the in-process export", cc)
 		}
+	}
+}
+
+// TestRunServeDaemon drives the -serve surface end to end through run():
+// a store generation is persisted, the daemon serves it via -reload-store
+// (with -serve implied), a second generation lands, POST /reload swaps to
+// it, and the daemon shuts down cleanly when its context ends.
+func TestRunServeDaemon(t *testing.T) {
+	root := t.TempDir()
+	if err := run(options{Seed: 5, Sites: 30, Out: t.TempDir(), Countries: []string{"CZ", "TH"},
+		Workers: 4, Store: filepath.Join(root, "gen-0001"), Summary: false}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan string, 1)
+	done := make(chan error, 1)
+	serve := options{Serve: "127.0.0.1:0", ReloadStore: root, Workers: 4,
+		onServeReady: func(addr string) { addrs <- addr },
+		serveCtx:     ctx}
+	go func() { done <- run(serve) }()
+	addr := <-addrs
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	status, body := get("/api/scores?layer=hosting")
+	if status != http.StatusOK || !strings.Contains(string(body), `"CZ"`) {
+		t.Fatalf("scores: %d %s", status, body)
+	}
+	if status, body := get("/api/epoch"); status != http.StatusOK || !strings.Contains(string(body), "gen-0001") {
+		t.Fatalf("epoch: %d %s", status, body)
+	}
+
+	// A new generation (different world) lands; /reload must swap to it.
+	if err := run(options{Seed: 6, Sites: 30, Out: t.TempDir(), Countries: []string{"CZ", "TH"},
+		Workers: 4, Store: filepath.Join(root, "gen-0002"), Summary: false}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post("http://"+addr+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload: %d", resp.StatusCode)
+	}
+	if status, body := get("/api/epoch"); status != http.StatusOK || !strings.Contains(string(body), "gen-0002") {
+		t.Fatalf("post-swap epoch: %d %s", status, body)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("serve run: %v", err)
 	}
 }
 

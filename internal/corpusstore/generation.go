@@ -1,0 +1,71 @@
+package corpusstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Generation discovery: a long-running daemon (internal/webdepd) serves
+// score queries over "the newest complete corpus" and is told to reload
+// when a new epoch lands. The layout contract is deliberately dumb so any
+// ingestion job can satisfy it: a generation root is a directory whose
+// immediate subdirectories are complete stores (each holding a
+// corpus.manifest), and the generation with the lexicographically greatest
+// name is current. Producers who want ordering pick sortable names
+// (zero-padded sequence numbers, RFC 3339 timestamps, epoch labels) and
+// write each store with Save/Create, whose manifest-last atomic protocol
+// guarantees a directory either has a manifest (complete) or is still
+// being written — a half-ingested generation is never "latest".
+//
+// For convenience a root that is itself a store (contains corpus.manifest
+// directly) counts as its own single generation, so `-from-store dir` and
+// `-reload-store dir` accept the same layout for the one-generation case.
+
+// Generations lists the store generations under root in ascending name
+// order. Entries that are not directories, whose names end in ".tmp"
+// (in-flight atomic writes), or that do not contain a manifest yet are
+// skipped — an ingest in progress is invisible until its manifest lands.
+func Generations(root string) ([]string, error) {
+	if _, err := os.Stat(filepath.Join(root, ManifestName)); err == nil {
+		// The root is itself a complete store: one unnamed generation.
+		return []string{"."}, nil
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("corpusstore: reading generation root: %w", err)
+	}
+	var gens []string
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasSuffix(e.Name(), ".tmp") {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(root, e.Name(), ManifestName)); err != nil {
+			continue
+		}
+		gens = append(gens, e.Name())
+	}
+	sort.Strings(gens)
+	return gens, nil
+}
+
+// LatestGeneration resolves the store directory a daemon should serve:
+// the generation under root with the greatest name, or root itself when it
+// is a single store. The label names the generation ("." for a bare
+// store) and is what the daemon reports on /api/epoch and after a reload.
+func LatestGeneration(root string) (dir, label string, err error) {
+	gens, err := Generations(root)
+	if err != nil {
+		return "", "", err
+	}
+	if len(gens) == 0 {
+		return "", "", fmt.Errorf("corpusstore: %s holds no complete store generation (no %s anywhere)", root, ManifestName)
+	}
+	label = gens[len(gens)-1]
+	if label == "." {
+		return root, label, nil
+	}
+	return filepath.Join(root, label), label, nil
+}

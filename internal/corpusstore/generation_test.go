@@ -1,0 +1,90 @@
+package corpusstore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// saveGen writes a small complete store under root/name.
+func saveGen(t *testing.T, root, name string) {
+	t.Helper()
+	c := testCorpus(3, []string{"TH"}, 20)
+	if err := Save(filepath.Join(root, name), c, &Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatestGenerationPicksGreatestName(t *testing.T) {
+	root := t.TempDir()
+	for _, name := range []string{"gen-0001", "gen-0003", "gen-0002"} {
+		saveGen(t, root, name)
+	}
+	// Noise the discovery must ignore: an in-flight atomic write, a
+	// directory with no manifest yet, and a stray file.
+	saveGen(t, root, "gen-9999.tmp")
+	if err := os.MkdirAll(filepath.Join(root, "gen-5000"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "zz-not-a-dir"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gens, err := Generations(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"gen-0001", "gen-0002", "gen-0003"}; !reflect.DeepEqual(gens, want) {
+		t.Fatalf("Generations = %v, want %v", gens, want)
+	}
+
+	dir, label, err := LatestGeneration(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "gen-0003" || dir != filepath.Join(root, "gen-0003") {
+		t.Fatalf("LatestGeneration = (%s, %s)", dir, label)
+	}
+	// The winner must actually open as a store.
+	st, err := Open(dir, &Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch() != "2023-05" {
+		t.Fatalf("epoch %s", st.Epoch())
+	}
+}
+
+func TestLatestGenerationAcceptsBareStore(t *testing.T) {
+	root := t.TempDir()
+	c := testCorpus(4, []string{"US"}, 15)
+	if err := Save(root, c, &Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	dir, label, err := LatestGeneration(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dir != root || label != "." {
+		t.Fatalf("bare store resolved to (%s, %s)", dir, label)
+	}
+}
+
+func TestLatestGenerationRefusesEmptyRoot(t *testing.T) {
+	if _, _, err := LatestGeneration(t.TempDir()); err == nil {
+		t.Fatal("empty root accepted")
+	}
+	if _, _, err := LatestGeneration(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing root accepted")
+	}
+	// A root whose only subdirectory is an incomplete ingest (no manifest)
+	// must also refuse: serving half a corpus is worse than erroring.
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "gen-0001"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LatestGeneration(root); err == nil {
+		t.Fatal("manifest-less generation accepted")
+	}
+}

@@ -39,6 +39,41 @@ func TestDerivedCacheLifetime(t *testing.T) {
 	}
 }
 
+// TestSnapshotKeyTracksInvalidation pins the SnapshotKey contract the
+// webdepd response cache leans on: the key is stable across reads and
+// across every scoring entry point, and changes exactly when the scoring
+// index is invalidated (Add, SetCoverage, InvalidateScoringIndex).
+func TestSnapshotKeyTracksInvalidation(t *testing.T) {
+	corpus := syntheticCorpus(1, []string{"TH", "US"}, 50)
+
+	k1 := corpus.SnapshotKey()
+	if k1 == nil {
+		t.Fatal("SnapshotKey returned nil")
+	}
+	corpus.Scores(0)
+	corpus.GlobalDistribution(0)
+	if k2 := corpus.SnapshotKey(); k2 != k1 {
+		t.Fatal("SnapshotKey changed without an invalidation")
+	}
+
+	corpus.Add(syntheticCorpus(2, []string{"DE"}, 50).Get("DE"))
+	k3 := corpus.SnapshotKey()
+	if k3 == k1 {
+		t.Fatal("SnapshotKey survived Corpus.Add")
+	}
+
+	corpus.SetCoverage(&Coverage{Country: "DE"})
+	k4 := corpus.SnapshotKey()
+	if k4 == k3 {
+		t.Fatal("SnapshotKey survived SetCoverage")
+	}
+
+	corpus.InvalidateScoringIndex()
+	if k5 := corpus.SnapshotKey(); k5 == k4 {
+		t.Fatal("SnapshotKey survived InvalidateScoringIndex")
+	}
+}
+
 // TestDerivedConcurrent hammers one key from many goroutines: every
 // caller must observe the same value, and the build must run once.
 func TestDerivedConcurrent(t *testing.T) {

@@ -123,6 +123,17 @@ func (c *Corpus) index() *scoringIndex {
 // place (tests, benchmarks) must call it themselves.
 func (c *Corpus) InvalidateScoringIndex() { c.scoring.Store(nil) }
 
+// SnapshotKey returns an opaque identity for the corpus's current
+// scoring-index snapshot: two calls return the same key exactly when no
+// invalidation (Add, SetCoverage, InvalidateScoringIndex) happened between
+// them, so a caller holding a structure derived from the corpus — a
+// rendered response cache, a serialized table — can check in one atomic
+// load whether that structure still describes the rows the corpus holds.
+// This is the same invalidation contract Derived keys its cache on; keys
+// are only comparable with ==, never inspected. Calling SnapshotKey builds
+// the index if no snapshot exists yet.
+func (c *Corpus) SnapshotKey() any { return c.index() }
+
 // Derived returns the value cached under key on the corpus's current
 // scoring-index snapshot, calling build exactly once per snapshot to
 // produce it. The cache has the scoring index's lifetime: Add,

@@ -105,6 +105,7 @@ type DebugServer struct {
 // ServeDebug starts a debug HTTP server on addr serving
 //
 //	/debug/vars   — the registry as JSON (expvar-style)
+//	/metrics      — the same registry in the Prometheus text format
 //	/debug/pprof/ — the standard pprof index, profiles, and traces
 //
 // on its own mux (nothing leaks onto http.DefaultServeMux). The server
@@ -121,6 +122,13 @@ func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if debugVarsHook != nil {
+			debugVarsHook()
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders the registry in the Prometheus text exposition format
+// (version 0.0.4), so the same instruments the JSON debug view serves can
+// be scraped by a standard monitoring stack. The two views are generated
+// from the same Snapshot code path and must agree exactly —
+// TestPrometheusAgreesWithJSON is the gate.
+//
+// Mapping:
+//
+//	counter   c            → `c` (TYPE counter)
+//	gauge     g            → `g` (TYPE gauge) plus `g_max` for the
+//	                          high-watermark, which Prometheus has no
+//	                          native slot for
+//	histogram h            → `h_bucket{le="..."}` with CUMULATIVE counts
+//	                          (the JSON view's buckets are per-bucket),
+//	                          `h_sum`, and `h_count`
+//
+// Dotted registry names become underscore-separated metric names
+// ("webdepd.scores.ms" → "webdepd_scores_ms"); any byte outside
+// [a-zA-Z0-9_:] is replaced by '_'.
+
+// WritePrometheus dumps the registry in the Prometheus text exposition
+// format. Instruments updated concurrently land at whatever value their
+// atomics held when the snapshot was taken, exactly like WriteJSON.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	var b strings.Builder
+	for _, c := range snap.Counters {
+		name := promName(c.Name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		name := promName(g.Name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, g.Value)
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n%s_max %d\n", name, name, g.Max)
+	}
+	for _, h := range snap.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			bound := "+Inf"
+			if i < len(h.Bounds) {
+				bound = promFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, bound, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName sanitizes a dotted registry name into a legal Prometheus metric
+// name: every byte outside [a-zA-Z0-9_:] becomes '_', and a leading digit
+// gets a '_' prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus clients expect: shortest
+// round-trip representation, integral values without an exponent.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

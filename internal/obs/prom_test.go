@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promScrape is a minimal parser for the text exposition format: metric
+// name (with optional le label) → value. Comments and TYPE lines are
+// skipped; histogram bucket lines are keyed "name_bucket{le}".
+func promScrape(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		name := fields[0]
+		if i := strings.Index(name, "{"); i >= 0 {
+			le := strings.TrimSuffix(strings.TrimPrefix(name[i:], `{le="`), `"}`)
+			name = name[:i] + "{" + le + "}"
+		}
+		if _, dup := out[name]; dup {
+			t.Fatalf("duplicate sample %q", name)
+		}
+		out[name] = v
+	}
+	return out
+}
+
+// TestPrometheusAgreesWithJSON pins the satellite contract: the /metrics
+// exposition and the /debug/vars JSON view are two renderings of the same
+// snapshot and must agree exactly — every counter, both gauge values, and
+// every histogram's count, sum, and per-bucket tallies (de-cumulated from
+// the exposition's `le` buckets).
+func TestPrometheusAgreesWithJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("web.requests").Add(41)
+	r.Counter("web.hits").Inc()
+	g := r.Gauge("web.inflight")
+	g.Set(7)
+	g.Set(3) // max stays 7
+	h := r.Timing("web.serve.ms")
+	for _, v := range []float64{0.04, 0.2, 0.2, 3, 99, 12000} {
+		h.Observe(v)
+	}
+
+	var promBuf, jsonBuf bytes.Buffer
+	if err := r.WritePrometheus(&promBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	prom := promScrape(t, promBuf.String())
+
+	var js struct {
+		Counters map[string]int64 `json:"counters"`
+		Gauges   map[string]struct {
+			Value int64 `json:"value"`
+			Max   int64 `json:"max"`
+		} `json:"gauges"`
+		Histograms map[string]struct {
+			Count   int64            `json:"count"`
+			Sum     float64          `json:"sum"`
+			Buckets map[string]int64 `json:"buckets"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(jsonBuf.Bytes(), &js); err != nil {
+		t.Fatal(err)
+	}
+
+	samples := 0
+	for name, v := range js.Counters {
+		if got := prom[promName(name)]; got != float64(v) {
+			t.Errorf("counter %s: prometheus %v, json %d", name, got, v)
+		}
+		samples++
+	}
+	for name, jg := range js.Gauges {
+		if got := prom[promName(name)]; got != float64(jg.Value) {
+			t.Errorf("gauge %s: prometheus %v, json %d", name, got, jg.Value)
+		}
+		if got := prom[promName(name)+"_max"]; got != float64(jg.Max) {
+			t.Errorf("gauge %s max: prometheus %v, json %d", name, got, jg.Max)
+		}
+		samples += 2
+	}
+	for name, jh := range js.Histograms {
+		pn := promName(name)
+		if got := prom[pn+"_count"]; got != float64(jh.Count) {
+			t.Errorf("histogram %s count: prometheus %v, json %d", name, got, jh.Count)
+		}
+		if got := prom[pn+"_sum"]; got != jh.Sum {
+			t.Errorf("histogram %s sum: prometheus %v, json %g", name, got, jh.Sum)
+		}
+		samples += 2
+		// De-cumulate the exposition buckets and compare against the
+		// JSON per-bucket counts (which omit empty buckets).
+		var prev float64
+		for i := 0; i <= len(DurationBuckets); i++ {
+			bound := "+Inf"
+			if i < len(DurationBuckets) {
+				bound = formatBound(DurationBuckets[i])
+			}
+			cum, ok := prom[pn+"_bucket{"+bound+"}"]
+			if !ok {
+				t.Fatalf("histogram %s missing bucket le=%q", name, bound)
+			}
+			samples++
+			if inBucket := cum - prev; inBucket != float64(jh.Buckets[bound]) {
+				t.Errorf("histogram %s bucket %s: prometheus %v, json %d",
+					name, bound, inBucket, jh.Buckets[bound])
+			}
+			prev = cum
+		}
+		if prev != float64(jh.Count) {
+			t.Errorf("histogram %s: +Inf cumulative %v != count %d", name, prev, jh.Count)
+		}
+	}
+	if samples != len(prom) {
+		t.Errorf("exposition has %d samples, JSON accounts for %d — a metric exists in only one view", len(prom), samples)
+	}
+}
+
+// TestDebugServerServesMetrics drives the endpoint end to end: /metrics
+// must answer with the exposition content type and the same counter value
+// the registry holds.
+func TestDebugServerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smoke.hits").Add(12)
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "smoke_hits 12") {
+		t.Errorf("exposition missing counter:\n%s", body)
+	}
+}
+
+// TestPromNameSanitizes pins the name mapping: dots to underscores,
+// hostile bytes replaced, leading digits prefixed.
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"webdepd.scores.ms": "webdepd_scores_ms",
+		"a-b c\"d{e}":       "a_b_c_d_e_",
+		"9lives":            "_9lives",
+		"ok_name:sub":       "ok_name:sub",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package webdepd
+
+import (
+	"sync"
+)
+
+// respCache memoizes rendered response bodies for one corpus generation.
+// Keys are canonical Query.Key() strings, so the key space is bounded by
+// construction: layers × countries for scores/rankcurve, a clamped n for
+// spof, and only *valid* providers for what-if (failed renders are never
+// cached, so hostile provider names cannot fill the map).
+//
+// Concurrency contract (the coalescing test pins this): for a cold key
+// under K concurrent requests, exactly one goroutine builds — the others
+// block on the entry's ready channel and reuse its bytes. Build errors
+// propagate to every waiter and the entry is deleted, so a transient
+// failure is retried by the next request instead of being served forever.
+type respCache struct {
+	mu      sync.Mutex // guards entry creation only; lookups are lock-free
+	entries sync.Map   // Query.Key() → *cacheEntry
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed once body/err are set
+	body  []byte
+	err   *QueryError
+}
+
+// cacheOutcome classifies one get() for the daemon's counters.
+type cacheOutcome uint8
+
+const (
+	outcomeHit cacheOutcome = iota
+	outcomeMiss
+	outcomeCoalesced
+)
+
+// testHookBuild, when set, runs inside the building goroutine after the
+// entry is published but before render is called. Tests use it to hold the
+// build open while concurrent requests pile onto the entry.
+var testHookBuild func(key string)
+
+func newRespCache() *respCache {
+	return &respCache{}
+}
+
+// get returns the cached body for q, rendering it against g at most once
+// per key no matter how many requests race on a cold cache.
+func (c *respCache) get(g *generation, q Query) ([]byte, *QueryError, cacheOutcome) {
+	key := q.Key()
+	if v, ok := c.entries.Load(key); ok {
+		return c.wait(v.(*cacheEntry), outcomeHit)
+	}
+
+	c.mu.Lock()
+	if v, ok := c.entries.Load(key); ok {
+		// Lost the creation race: someone else is (or finished) building.
+		c.mu.Unlock()
+		return c.wait(v.(*cacheEntry), outcomeCoalesced)
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries.Store(key, e)
+	c.mu.Unlock()
+
+	if testHookBuild != nil {
+		testHookBuild(key)
+	}
+	e.body, e.err = g.render(q)
+	if e.err != nil {
+		// Publish the error to the waiters already parked on this entry,
+		// then drop it so the error is never served from cache.
+		c.entries.Delete(key)
+	}
+	close(e.ready)
+	return e.body, e.err, outcomeMiss
+}
+
+// wait blocks until the entry's build completes. A closed ready channel is
+// the common case and returns without scheduling; hit is downgraded to
+// coalesced when the caller actually had to park.
+func (c *respCache) wait(e *cacheEntry, outcome cacheOutcome) ([]byte, *QueryError, cacheOutcome) {
+	select {
+	case <-e.ready:
+		return e.body, e.err, outcome
+	default:
+	}
+	if outcome == outcomeHit {
+		outcome = outcomeCoalesced
+	}
+	<-e.ready
+	return e.body, e.err, outcome
+}

@@ -1,0 +1,47 @@
+package webdepd_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+
+	"github.com/webdep/webdep/internal/pipeline"
+	"github.com/webdep/webdep/internal/webdepd"
+	"github.com/webdep/webdep/internal/worldgen"
+)
+
+// Example starts an in-process score-query daemon over a measured
+// synthetic world and asks it where Germany ranks on hosting
+// centralization — the query path a dashboard or notebook would use.
+func Example() {
+	w, err := worldgen.Build(worldgen.Config{Seed: 1, SitesPerCountry: 200, Countries: []string{"US", "DE", "JP"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus, err := pipeline.FromWorld(w).MeasureWorld(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	d, err := webdepd.Start("127.0.0.1:0", webdepd.Config{Corpus: corpus})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get("http://" + d.Addr + "/api/scores?layer=hosting&country=DE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	var score webdepd.CountryScoreResponse
+	if err := json.NewDecoder(resp.Body).Decode(&score); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("epoch %s: %s %s ranks %d of %d\n",
+		score.Epoch, score.Country, score.Layer, score.Rank, score.Of)
+	// Output:
+	// epoch 2023-05: DE hosting ranks 3 of 3
+}

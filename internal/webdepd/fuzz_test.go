@@ -1,0 +1,66 @@
+package webdepd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzQueryParse is the hostile-input gate for the daemon's front door:
+// for any path and query string, ParseQuery must never panic, every
+// rejection must be a well-formed 4xx, and every accepted query must
+// satisfy the invariants the cache keys and renderers rely on.
+func FuzzQueryParse(f *testing.F) {
+	f.Add("/api/scores", "")
+	f.Add("/api/scores", "layer=hosting&country=us")
+	f.Add("/api/rankcurve", "layer=dns&country=DE")
+	f.Add("/api/spof", "n=10")
+	f.Add("/api/what-if", "provider=Cloudflare")
+	f.Add("/api/classes", "layer=tld")
+	f.Add("/api/coverage", "")
+	f.Add("/api/epoch", "")
+	f.Add("/api/scores", "layer=%68osting")
+	f.Add("/api/what-if", "provider=%ZZ")
+	f.Add("/api/../etc/passwd", "")
+	f.Add("/api/scores", "layer=hosting&layer=dns")
+	f.Add("/api/spof", "n=-1&n=2")
+	f.Add("/api/what-if", "provider="+strings.Repeat("A", 300))
+	f.Add("", "")
+
+	f.Fuzz(func(t *testing.T, path, rawQuery string) {
+		q, qerr := ParseQuery(path, rawQuery)
+		if qerr != nil {
+			if qerr.Status < 400 || qerr.Status > 499 {
+				t.Fatalf("ParseQuery(%q, %q): non-4xx rejection %d", path, rawQuery, qerr.Status)
+			}
+			if qerr.Msg == "" {
+				t.Fatalf("ParseQuery(%q, %q): empty rejection message", path, rawQuery)
+			}
+			return
+		}
+		// Accepted queries must be canonical: a known endpoint, a bounded
+		// key, and parameters inside the ranges the renderers assume.
+		known := false
+		for _, ep := range endpoints {
+			if q.Endpoint == ep {
+				known = true
+			}
+		}
+		if !known {
+			t.Fatalf("accepted unknown endpoint %q", q.Endpoint)
+		}
+		if q.Country != "" {
+			if len(q.Country) != 2 || q.Country != strings.ToUpper(q.Country) {
+				t.Fatalf("accepted non-canonical country %q", q.Country)
+			}
+		}
+		if q.Endpoint == epSPOF && (q.N < 1 || q.N > maxSPOFN) {
+			t.Fatalf("accepted out-of-range n %d", q.N)
+		}
+		if len(q.Provider) > maxProviderLen {
+			t.Fatalf("accepted oversized provider (%d bytes)", len(q.Provider))
+		}
+		if key := q.Key(); key == "" || len(key) > maxProviderLen+20 {
+			t.Fatalf("cache key %q out of bounds", key)
+		}
+	})
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package loadtest
+
+const raceEnabled = false

@@ -1,0 +1,509 @@
+package webdepd
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/webdep/webdep/internal/corpusstore"
+	"github.com/webdep/webdep/internal/dataset"
+	"github.com/webdep/webdep/internal/obs"
+	"github.com/webdep/webdep/internal/pipeline"
+	"github.com/webdep/webdep/internal/worldgen"
+)
+
+// worldCorpus measures a small synthetic world through the real pipeline,
+// so the daemon's tests serve the same kind of corpus production does.
+func worldCorpus(t testing.TB, seed int64, sites int, ccs []string) *dataset.Corpus {
+	t.Helper()
+	w, err := worldgen.Build(worldgen.Config{Seed: seed, SitesPerCountry: sites, Countries: ccs})
+	if err != nil {
+		t.Fatalf("worldgen.Build: %v", err)
+	}
+	corpus, err := pipeline.FromWorld(w).MeasureWorld(w)
+	if err != nil {
+		t.Fatalf("MeasureWorld: %v", err)
+	}
+	return corpus
+}
+
+// startDaemon starts a daemon on a loopback port and closes it with the
+// test.
+func startDaemon(t testing.TB, cfg Config) *Daemon {
+	t.Helper()
+	d, err := Start("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// get fetches one daemon URL, returning status and body.
+func get(t testing.TB, d *Daemon, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get("http://" + d.Addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", path, err)
+	}
+	return resp.StatusCode, body
+}
+
+var testCCs = []string{"US", "DE", "JP", "IN"}
+
+// crossCheckQueries enumerates one query of every endpoint shape.
+func crossCheckQueries() []string {
+	qs := []string{
+		"/api/scores",
+		"/api/coverage",
+		"/api/epoch",
+		"/api/spof",
+		"/api/spof?n=3",
+		"/api/what-if?provider=Cloudflare",
+	}
+	for _, layer := range []string{"hosting", "dns", "ca", "tld"} {
+		qs = append(qs,
+			"/api/scores?layer="+layer,
+			"/api/scores?layer="+layer+"&country=DE",
+			"/api/rankcurve?layer="+layer+"&country=US",
+			"/api/classes?layer="+layer,
+		)
+	}
+	return qs
+}
+
+// TestEndpointsCrossCheck pins the daemon's correctness contract: every
+// endpoint's HTTP bytes must be identical to rendering the same query
+// against an independently measured corpus — the cache can never change
+// what is served, only how fast.
+func TestEndpointsCrossCheck(t *testing.T) {
+	corpus := worldCorpus(t, 7, 150, testCCs)
+	d := startDaemon(t, Config{Corpus: corpus})
+
+	// An independent measurement of the same world, rendered directly
+	// with no daemon and no cache in the loop.
+	independent := newGeneration(worldCorpus(t, 7, 150, testCCs), "memory", 0)
+
+	for _, path := range crossCheckQueries() {
+		u := strings.TrimPrefix(path, "/api/")
+		q, qerr := ParseQuery("/api/"+strings.Split(u, "?")[0], urlQuery(path))
+		if qerr != nil {
+			t.Fatalf("%s: parse: %v", path, qerr)
+		}
+		want, qerr := independent.render(q)
+		if qerr != nil {
+			t.Fatalf("%s: direct render: %v", path, qerr)
+		}
+		// Twice: once cold (miss), once hot (hit) — same bytes both times.
+		for pass := 0; pass < 2; pass++ {
+			status, body := get(t, d, path)
+			if status != http.StatusOK {
+				t.Fatalf("%s pass %d: status %d: %s", path, pass, status, body)
+			}
+			if !bytes.Equal(body, want) {
+				t.Errorf("%s pass %d: served bytes differ from direct render\n got: %.200s\nwant: %.200s", path, pass, body, want)
+			}
+			if !json.Valid(body) {
+				t.Errorf("%s: response is not valid JSON", path)
+			}
+		}
+	}
+	if hits := d.m.hits.Value(); hits == 0 {
+		t.Error("second passes never hit the cache")
+	}
+}
+
+// urlQuery splits the raw query off a request path.
+func urlQuery(path string) string {
+	if _, q, ok := strings.Cut(path, "?"); ok {
+		return q
+	}
+	return ""
+}
+
+// TestErrorResponses pins the typed-rejection surface: hostile or wrong
+// requests get a JSON error with the right status, and error bodies are
+// never cached (a transient failure is retried, and a junk provider
+// cannot fill the cache).
+func TestErrorResponses(t *testing.T) {
+	corpus := worldCorpus(t, 3, 80, []string{"US", "DE"})
+	d := startDaemon(t, Config{Corpus: corpus})
+
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/api/scores?layer=hosting&country=ZZ", http.StatusNotFound},  // unknown country
+		{"/api/rankcurve?layer=dns&country=FR", http.StatusNotFound},   // not in corpus
+		{"/api/what-if?provider=NoSuchProvider", http.StatusNotFound},  // unknown provider
+		{"/api/nope", http.StatusNotFound},                             // unknown endpoint
+		{"/api/scores?layer=blockchain", http.StatusBadRequest},        // junk layer
+		{"/api/scores?layer=hosting&layer=dns", http.StatusBadRequest}, // repeated param
+		{"/api/spof?n=0", http.StatusBadRequest},                       // out-of-range n
+		{"/api/spof?n=9999999", http.StatusBadRequest},
+		{"/api/epoch?layer=hosting", http.StatusBadRequest}, // param on a bare endpoint
+		{"/api/scores?country=US", http.StatusBadRequest},   // country without layer
+	}
+	for _, tc := range cases {
+		for pass := 0; pass < 2; pass++ { // twice: errors must not be cached into success
+			status, body := get(t, d, tc.path)
+			if status != tc.want {
+				t.Errorf("%s: status %d, want %d (%s)", tc.path, status, tc.want, body)
+				continue
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil || er.Status != tc.want || er.Error == "" {
+				t.Errorf("%s: malformed error body %s", tc.path, body)
+			}
+		}
+	}
+	// Error renders must leave no cache entry behind.
+	entries := 0
+	d.gen.Load().cache.entries.Range(func(_, _ any) bool { entries++; return true })
+	if entries != 0 {
+		t.Errorf("error responses left %d cache entries", entries)
+	}
+
+	if status, _ := get(t, d, "/healthz"); status != http.StatusOK {
+		t.Errorf("healthz: %d", status)
+	}
+	resp, err := http.Post("http://"+d.Addr+"/api/scores", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/scores: %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestCoalescing pins the singleflight contract: K concurrent requests
+// for one cold key trigger exactly one render; the rest wait for it and
+// are counted as coalesced.
+func TestCoalescing(t *testing.T) {
+	const K = 16
+	corpus := worldCorpus(t, 5, 100, []string{"US", "DE"})
+	d := startDaemon(t, Config{Corpus: corpus})
+
+	var builds atomic.Int64
+	release := make(chan struct{})
+	testHookBuild = func(string) {
+		builds.Add(1)
+		<-release
+	}
+	defer func() { testHookBuild = nil }()
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, body := get(t, d, "/api/scores?layer=hosting")
+			if status != http.StatusOK {
+				t.Errorf("goroutine %d: status %d", i, status)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	// Release the single build only once every request is in flight, so
+	// all K demonstrably raced on the cold key.
+	for d.m.inflight.Value() < K {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("%d renders for one cold key, want exactly 1", n)
+	}
+	if m := d.m.misses.Value(); m != 1 {
+		t.Errorf("misses = %d, want 1", m)
+	}
+	if c := d.m.coalesced.Value(); c != K-1 {
+		t.Errorf("coalesced = %d, want %d", c, K-1)
+	}
+	for i := 1; i < K; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("goroutine %d got different bytes", i)
+		}
+	}
+}
+
+// TestReloadHotSwap drives the epoch swap end to end over a store
+// generation root: the daemon starts on gen-0001, a new generation lands,
+// POST /reload swaps it in, and both the epoch report and the scores
+// change to the new corpus — while an in-memory daemon refuses reloads.
+func TestReloadHotSwap(t *testing.T) {
+	root := t.TempDir()
+	corpusA := worldCorpus(t, 11, 120, testCCs)
+	if err := corpusstore.Save(root+"/gen-0001", corpusA, &corpusstore.Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	d := startDaemon(t, Config{StoreRoot: root, Workers: 2})
+
+	if label, swap := d.Generation(); label != "gen-0001" || swap != 0 {
+		t.Fatalf("initial generation (%s, %d)", label, swap)
+	}
+	_, before := get(t, d, "/api/scores?layer=hosting")
+
+	// A new epoch lands (different world), plus decoys reload must skip:
+	// an in-flight atomic write and a manifest-less directory.
+	corpusB := worldCorpus(t, 12, 120, testCCs)
+	corpusB.Epoch = "2023-06"
+	if err := corpusstore.Save(root+"/gen-0002", corpusB, &corpusstore.Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := corpusstore.Save(root+"/gen-0009.tmp", corpusB, &corpusstore.Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post("http://"+d.Addr+"/reload", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swapped struct {
+		Generation string `json:"generation"`
+		Epoch      string `json:"epoch"`
+		Swap       int64  `json:"swap"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&swapped); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || swapped.Generation != "gen-0002" || swapped.Epoch != "2023-06" || swapped.Swap != 1 {
+		t.Fatalf("reload answered %d %+v", resp.StatusCode, swapped)
+	}
+
+	status, after := get(t, d, "/api/scores?layer=hosting")
+	if status != http.StatusOK {
+		t.Fatalf("post-swap scores: %d", status)
+	}
+	if bytes.Equal(before, after) {
+		t.Error("scores unchanged across an epoch swap of a different world")
+	}
+	var ls LayerScoresResponse
+	if err := json.Unmarshal(after, &ls); err != nil || ls.Epoch != "2023-06" {
+		t.Fatalf("post-swap scores carry epoch %q: %v", ls.Epoch, err)
+	}
+	if d.m.reloads.Value() != 1 {
+		t.Errorf("reloads counter = %d", d.m.reloads.Value())
+	}
+
+	// GET /reload is a refused mutation; in-memory daemons refuse POST too.
+	if resp, err := http.Get("http://" + d.Addr + "/reload"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /reload: %d", resp.StatusCode)
+		}
+	}
+	mem := startDaemon(t, Config{Corpus: corpusA})
+	if resp, err := http.Post("http://"+mem.Addr+"/reload", "", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusConflict {
+			t.Errorf("in-memory reload: %d, want 409", resp.StatusCode)
+		}
+	}
+	if _, err := Start("127.0.0.1:0", Config{}); err == nil {
+		t.Error("Start accepted a config with no corpus source")
+	}
+	if _, err := Start("127.0.0.1:0", Config{Corpus: corpusA, StoreRoot: root}); err == nil {
+		t.Error("Start accepted two corpus sources")
+	}
+}
+
+// TestReloadRaceHammer hammers queries against concurrent reloads under
+// the race detector: every response must be byte-identical to one of the
+// two generations' direct renders — never a blend, never torn.
+func TestReloadRaceHammer(t *testing.T) {
+	root := t.TempDir()
+	corpusA := worldCorpus(t, 21, 80, []string{"US", "DE", "JP"})
+	corpusB := worldCorpus(t, 22, 80, []string{"US", "DE", "JP"})
+	corpusB.Epoch = "2023-06"
+	if err := corpusstore.Save(root+"/gen-0001", corpusA, &corpusstore.Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	d := startDaemon(t, Config{StoreRoot: root, Workers: 2})
+
+	paths := []string{
+		"/api/scores?layer=hosting",
+		"/api/scores?layer=dns&country=DE",
+		"/api/rankcurve?layer=hosting&country=US",
+		"/api/spof?n=5",
+		"/api/classes?layer=ca",
+	}
+	// Direct renders from both worlds; a served body must match one side
+	// entirely.
+	allowed := make(map[string][2][]byte, len(paths))
+	genA := newGeneration(worldCorpus(t, 21, 80, []string{"US", "DE", "JP"}), "gen-0001", 0)
+	corpusB2 := worldCorpus(t, 22, 80, []string{"US", "DE", "JP"})
+	corpusB2.Epoch = "2023-06"
+	genB := newGeneration(corpusB2, "gen-0002", 1)
+	for _, p := range paths {
+		q, qerr := ParseQuery("/api/"+strings.Split(strings.TrimPrefix(p, "/api/"), "?")[0], urlQuery(p))
+		if qerr != nil {
+			t.Fatal(qerr)
+		}
+		wa, qerr := genA.render(q)
+		if qerr != nil {
+			t.Fatal(qerr)
+		}
+		wb, qerr := genB.render(q)
+		if qerr != nil {
+			t.Fatal(qerr)
+		}
+		allowed[p] = [2][]byte{wa, wb}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := paths[(w+i)%len(paths)]
+				resp, err := client.Get("http://" + d.Addr + p)
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					t.Errorf("reader %s: %d %v", p, resp.StatusCode, err)
+					return
+				}
+				if ab := allowed[p]; !bytes.Equal(body, ab[0]) && !bytes.Equal(body, ab[1]) {
+					t.Errorf("reader %s: body matches neither generation", p)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Land generation B mid-hammer, then swap repeatedly while reads fly.
+	if err := corpusstore.Save(root+"/gen-0002", corpusB, &corpusstore.Options{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Reload(); err != nil {
+			t.Errorf("reload %d: %v", i, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if label, _ := d.Generation(); label != "gen-0002" {
+		t.Errorf("final generation %s", label)
+	}
+}
+
+// TestMutatedCorpusFallsBack pins the snapshot-keying: if the served
+// corpus is mutated in place (outside the daemon's own swap discipline),
+// the stale-keyed cache is bypassed and responses reflect the new data.
+func TestMutatedCorpusFallsBack(t *testing.T) {
+	corpus := worldCorpus(t, 9, 60, []string{"US", "DE"})
+	d := startDaemon(t, Config{Corpus: corpus})
+
+	_, before := get(t, d, "/api/scores?layer=hosting")
+	var ls LayerScoresResponse
+	if err := json.Unmarshal(before, &ls); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ls.Scores["JP"]; ok {
+		t.Fatal("JP in corpus before mutation")
+	}
+
+	// Mutate the served corpus: a new country list lands in place.
+	jp := worldCorpus(t, 9, 60, []string{"JP"})
+	corpus.Add(jp.Lists["JP"])
+
+	status, after := get(t, d, "/api/scores?layer=hosting")
+	if status != http.StatusOK {
+		t.Fatalf("post-mutation: %d", status)
+	}
+	if err := json.Unmarshal(after, &ls); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ls.Scores["JP"]; !ok {
+		t.Error("mutated corpus still serving pre-mutation bytes")
+	}
+}
+
+// nullWriter is an http.ResponseWriter that discards everything —
+// allocation accounting must measure the daemon, not a recorder.
+type nullWriter struct{ h http.Header }
+
+func (w *nullWriter) Header() http.Header         { return w.h }
+func (w *nullWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullWriter) WriteHeader(int)             {}
+
+// TestHitPathAllocs is the alloc-regression gate on the cache-hit path:
+// parse, key, lookup, and write must stay within a handful of allocations
+// per request, or the throughput claim quietly rots.
+func TestHitPathAllocs(t *testing.T) {
+	corpus := worldCorpus(t, 13, 60, []string{"US", "DE"})
+	d := startDaemon(t, Config{Corpus: corpus})
+
+	req := httptest.NewRequest(http.MethodGet, "http://x/api/scores?layer=hosting&country=US", nil)
+	w := &nullWriter{h: make(http.Header)}
+	d.handleAPI(w, req) // warm the key
+
+	avg := testing.AllocsPerRun(2000, func() { d.handleAPI(w, req) })
+	if avg > 8 {
+		t.Errorf("cache-hit path allocates %.1f objects/request, want <= 8", avg)
+	}
+}
+
+// TestMetricsSurface checks the daemon wires its SLO surfaces into the
+// shared registry: request counters, per-endpoint latency histograms, and
+// the hit/miss split all move when traffic flows.
+func TestMetricsSurface(t *testing.T) {
+	reg := obs.NewRegistry()
+	corpus := worldCorpus(t, 17, 60, []string{"US", "DE"})
+	d := startDaemon(t, Config{Corpus: corpus, Obs: reg})
+
+	get(t, d, "/api/scores?layer=hosting")
+	get(t, d, "/api/scores?layer=hosting")
+	get(t, d, "/api/scores?layer=blockchain")
+
+	if got := reg.Counter("webdepd.requests").Value(); got != 3 {
+		t.Errorf("requests = %d", got)
+	}
+	if m, h := reg.Counter("webdepd.misses").Value(), reg.Counter("webdepd.hits").Value(); m != 1 || h != 1 {
+		t.Errorf("misses/hits = %d/%d, want 1/1", m, h)
+	}
+	if got := reg.Counter("webdepd.errors_4xx").Value(); got != 1 {
+		t.Errorf("errors_4xx = %d", got)
+	}
+	if hs := reg.Timing("webdepd.scores.ms").Snapshot(); hs.Count != 2 {
+		t.Errorf("scores latency histogram count = %d, want 2", hs.Count)
+	}
+	if d.m.inflight.Value() != 0 {
+		t.Errorf("inflight gauge did not return to zero: %d", d.m.inflight.Value())
+	}
+}
